@@ -1,0 +1,122 @@
+"""THM21: the asymptotically optimal BMMC algorithm's upper bound.
+
+Random BMMC instances across rank-gamma values and geometries; measured
+parallel I/Os must (a) equal the implementation's exact prediction
+``2N/BD * (g+1)``, (b) stay within Theorem 21's ceiling
+``2N/BD (ceil(rank gamma / lg(M/B)) + 2)``, and (c) beat the
+general-permutation baseline whenever rank gamma is small.
+"""
+
+import numpy as np
+
+from repro.bits.random import random_bmmc_with_rank_gamma, random_nonsingular
+from repro.core import bounds
+from repro.core.bmmc_algorithm import perform_bmmc
+from repro.pdm.geometry import DiskGeometry
+from repro.perms.bmmc import BMMCPermutation
+
+from benchmarks.conftest import BENCH_GEOMETRY, SEED, fresh_system, write_result
+
+
+GEOMETRY = DiskGeometry(**BENCH_GEOMETRY)
+
+
+def test_theorem21_random_instances(benchmark):
+    g = GEOMETRY
+    rng = np.random.default_rng(SEED)
+    perms = [
+        BMMCPermutation(random_nonsingular(g.n, rng), int(rng.integers(0, g.N)))
+        for _ in range(8)
+    ]
+
+    def run_all():
+        out = []
+        for perm in perms:
+            system = fresh_system(g)
+            result = perform_bmmc(system, perm)
+            assert system.verify_permutation(
+                perm, np.arange(g.N), result.final_portion
+            )
+            out.append(result)
+        return out
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows = []
+    for perm, result in zip(perms, results):
+        rg = perm.rank_gamma(g.b)
+        ub = bounds.theorem21_upper_bound(g, rg)
+        predicted = bounds.predicted_ios(perm.matrix, g)
+        assert result.parallel_ios == predicted <= ub
+        rows.append([rg, result.passes, result.parallel_ios, predicted, ub])
+    write_result(
+        "THM21",
+        f"Theorem 21 upper bound on {g.describe()}",
+        ["rank gamma", "passes", "measured I/Os", "predicted (2N/BD)(g+1)", "Thm 21 UB"],
+        rows,
+    )
+
+
+def test_theorem21_pass_structure(benchmark):
+    """Pass structure: g MLD passes of striped-read/independent-write plus
+    one final MRC pass, exactly as Section 5 merges the factors."""
+    g = GEOMETRY
+    perm = BMMCPermutation(
+        random_bmmc_with_rank_gamma(g.n, g.b, g.b, np.random.default_rng(SEED + 9))
+    )
+
+    def run():
+        system = fresh_system(g)
+        result = perform_bmmc(system, perm)
+        return system, result
+
+    system, result = benchmark.pedantic(run, rounds=1, iterations=1)
+    passes = system.stats.passes
+    assert len(passes) == result.passes
+    rows = []
+    for p in passes:
+        assert p.parallel_ios == g.one_pass_ios
+        rows.append(
+            [p.label, p.parallel_ios, p.striped_reads, p.striped_writes, p.independent_writes]
+        )
+    # final pass is the MRC factor F: all striped
+    assert passes[-1].striped_writes == g.num_stripes
+    write_result(
+        "THM21-passes",
+        f"Per-pass I/O discipline for a rank-gamma={perm.rank_gamma(g.b)} instance",
+        ["pass", "I/Os", "striped reads", "striped writes", "independent writes"],
+        rows,
+    )
+
+
+def test_theorem21_scaling_in_n(benchmark):
+    """I/O counts scale linearly in N/BD at fixed pass structure -- the
+    'linear time' analogue the paper frames O(N/BD) as."""
+    geometries = [
+        DiskGeometry(N=2**n, B=2**4, D=2**3, M=2**11) for n in (14, 16, 18)
+    ]
+
+    def sweep():
+        out = []
+        for g in geometries:
+            a = random_bmmc_with_rank_gamma(g.n, g.b, g.b, np.random.default_rng(SEED))
+            perm = BMMCPermutation(a)
+            system = fresh_system(g)
+            result = perform_bmmc(system, perm)
+            assert system.verify_permutation(perm, np.arange(g.N), result.final_portion)
+            out.append((g, result))
+        return out
+
+    data = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = []
+    for g, result in data:
+        per_sweep = result.parallel_ios / (g.N // (g.B * g.D))
+        rows.append([f"2^{g.n}", result.passes, result.parallel_ios, f"{per_sweep:.1f}"])
+    # same pass count across the sweep -> linear scaling in N/BD
+    pass_counts = {r[1] for r in rows}
+    assert len(pass_counts) == 1
+    write_result(
+        "THM21-scaling",
+        "I/O scaling in N at fixed B, D, M (passes constant, I/Os linear in N/BD)",
+        ["N", "passes", "measured I/Os", "I/Os per N/BD"],
+        rows,
+    )

@@ -1,0 +1,127 @@
+"""SEC6: run-time BMMC detection cost.
+
+Measured parallel reads must equal ``N/BD + ceil((lg(N/B)+1)/D)`` for
+BMMC inputs (formation + full verification) and be far cheaper for
+typical non-BMMC inputs (early exit).  Also sweeps D to show the
+formation schedule's ``ceil((lg(N/B)+1)/D)`` parallelism.
+"""
+
+import numpy as np
+
+from repro.bits.random import random_nonsingular
+from repro.core import bounds
+from repro.core.detect import detect_bmmc, store_target_vector
+from repro.pdm.geometry import DiskGeometry
+from repro.pdm.system import ParallelDiskSystem
+from repro.perms.bmmc import BMMCPermutation
+from repro.perms.library import permuted_gray_code
+
+from benchmarks.conftest import BENCH_GEOMETRY, SEED, write_result
+
+
+def _detection_system(geometry, perm_or_targets):
+    s = ParallelDiskSystem(geometry, simple_io=False)
+    store_target_vector(s, perm_or_targets)
+    return s
+
+
+def test_detection_cost_positive(benchmark):
+    g = DiskGeometry(**BENCH_GEOMETRY)
+    rng = np.random.default_rng(SEED)
+    perm = BMMCPermutation(random_nonsingular(g.n, rng), int(rng.integers(0, g.N)))
+    system = _detection_system(g, perm)
+
+    def run():
+        system.stats = type(system.stats)()
+        return detect_bmmc(system)
+
+    result = benchmark(run)
+    assert result.is_bmmc
+    assert result.matrix == perm.matrix and result.complement == perm.complement
+    bound = bounds.detection_read_bound(g)
+    assert result.total_reads == bound
+    write_result(
+        "SEC6-positive",
+        f"Detection cost on a BMMC vector, {g.describe()}",
+        ["formation reads", "verification reads", "total", "paper bound"],
+        [[result.formation_reads, result.verification_reads, result.total_reads, bound]],
+    )
+    benchmark.extra_info["reads"] = result.total_reads
+
+
+def test_detection_cost_negative(benchmark):
+    """Non-BMMC vectors: 'usually far fewer' reads via early exit."""
+    g = DiskGeometry(**BENCH_GEOMETRY)
+    rng = np.random.default_rng(SEED + 1)
+    targets = rng.permutation(g.N)
+    system = _detection_system(g, targets)
+
+    def run():
+        system.stats = type(system.stats)()
+        return detect_bmmc(system)
+
+    result = benchmark(run)
+    bound = bounds.detection_read_bound(g)
+    assert not result.is_bmmc
+    assert result.total_reads < bound // 4
+    write_result(
+        "SEC6-negative",
+        f"Detection cost on a random (non-BMMC) vector, {g.describe()}",
+        ["reason", "total reads", "paper bound"],
+        [[result.reason, result.total_reads, bound]],
+    )
+
+
+def test_detection_disk_parallelism_sweep(benchmark):
+    """Formation reads scale as ceil((lg(N/B)+1)/D) as disks are added."""
+    cases = [
+        DiskGeometry(N=2**14, B=2**3, D=2**d, M=2**9) for d in range(0, 5)
+    ]
+
+    def sweep():
+        out = []
+        for g in cases:
+            perm = BMMCPermutation(random_nonsingular(g.n, np.random.default_rng(SEED)))
+            system = _detection_system(g, perm)
+            result = detect_bmmc(system)
+            assert result.is_bmmc
+            out.append((g, result))
+        return out
+
+    data = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = []
+    for g, result in data:
+        expected = bounds.detection_formation_reads(g)
+        assert result.formation_reads == expected
+        assert result.total_reads == bounds.detection_read_bound(g)
+        rows.append([g.D, result.formation_reads, expected, result.total_reads])
+    write_result(
+        "SEC6-parallelism",
+        "Formation reads vs. D (N=2^14, B=2^3): ceil((lg(N/B)+1)/D)",
+        ["D", "formation reads", "formula", "total reads"],
+        rows,
+    )
+
+
+def test_detection_enables_fast_path(benchmark):
+    """The paper's Gray-code-variant motivation: detection recognizes
+    Pi G Pi^T (not obviously any special class) and recovers its matrix,
+    unlocking the Theorem 21 algorithm instead of general sorting."""
+    g = DiskGeometry(**BENCH_GEOMETRY)
+    perm = permuted_gray_code(g.n, list(np.random.default_rng(SEED).permutation(g.n)))
+    system = _detection_system(g, perm)
+
+    result = benchmark.pedantic(lambda: detect_bmmc(system), rounds=1, iterations=1)
+    assert result.is_bmmc
+    from repro.core.bmmc_algorithm import plan_bmmc_passes
+
+    plan = plan_bmmc_passes(result.permutation(), g)
+    detection_plus_run = result.total_reads + len(plan) * g.one_pass_ios
+    general = bounds.merge_sort_passes(g) * g.one_pass_ios
+    write_result(
+        "SEC6-fastpath",
+        "Permuted Gray code: detect + BMMC algorithm vs. blind general sort",
+        ["detection reads", "BMMC passes", "detect+run I/Os", "general-sort I/Os"],
+        [[result.total_reads, len(plan), detection_plus_run, general]],
+    )
+    assert detection_plus_run < general

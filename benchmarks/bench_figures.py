@@ -1,0 +1,81 @@
+"""FIG1 / FIG2: regenerate the paper's model figures.
+
+Figure 1 -- the layout of N=64 records on D=8 disks with B=2 -- and
+Figure 2 -- the bit-field decomposition for n=13, b=3, d=4, m=8, s=6 --
+are reproduced exactly and checked cell-for-cell / field-for-field
+against the values printed in the paper.
+"""
+
+import numpy as np
+
+from repro.pdm.geometry import DiskGeometry
+from repro.pdm.layout import figure1_table, render_figure1, render_figure2
+
+from benchmarks.conftest import write_result
+
+
+def test_figure1_layout(benchmark):
+    g = DiskGeometry(N=64, B=2, D=8, M=32)
+    table = benchmark(figure1_table, g)
+
+    # The paper's Figure 1, row by row.
+    paper_rows = {
+        0: list(range(0, 16)),
+        1: list(range(16, 32)),
+        2: list(range(32, 48)),
+        3: list(range(48, 64)),
+    }
+    for stripe, expected in paper_rows.items():
+        assert table[stripe].reshape(-1).tolist() == expected
+
+    rows = []
+    for stripe in range(4):
+        rows.append(
+            [f"stripe {stripe}"]
+            + [" ".join(str(v) for v in table[stripe, d]) for d in range(8)]
+        )
+    text = write_result(
+        "FIG1",
+        "Layout of N=64 records, B=2, D=8 (paper Figure 1, matched exactly)",
+        ["", *[f"D{d}" for d in range(8)]],
+        rows,
+    )
+    print("\n" + render_figure1(g))
+    benchmark.extra_info["matches_paper"] = True
+
+
+def test_figure2_fields(benchmark):
+    g = DiskGeometry(N=2**13, B=2**3, D=2**4, M=2**8)
+    text = benchmark(render_figure2, g)
+
+    assert (g.n, g.b, g.d, g.m, g.s) == (13, 3, 4, 8, 6)
+    # Field windows exactly as drawn in Figure 2.
+    checks = [
+        ("offset", range(0, 3)),
+        ("disk", range(3, 7)),
+        ("stripe", range(7, 13)),
+    ]
+    lines = text.splitlines()[2:]
+    for name, window in checks:
+        for k in window:
+            assert name in lines[k], f"bit {k} should be in field {name}"
+    for k in range(8, 13):
+        assert "memoryload" in lines[k]
+    for k in range(3, 8):
+        assert "relative block" in lines[k]
+
+    rows = [
+        ["offset", "x0..x2", "b = 3 bits"],
+        ["disk", "x3..x6", "d = 4 bits"],
+        ["stripe", "x7..x12", "s = 6 bits"],
+        ["relative block number", "x3..x7", "m - b = 5 bits"],
+        ["memoryload number", "x8..x12", "n - m = 5 bits"],
+    ]
+    write_result(
+        "FIG2",
+        "Address fields for n=13, b=3, d=4, m=8 (paper Figure 2, matched exactly)",
+        ["field", "bits", "width"],
+        rows,
+    )
+    print("\n" + text)
+    benchmark.extra_info["matches_paper"] = True

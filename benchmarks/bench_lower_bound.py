@@ -1,0 +1,100 @@
+"""THM3: the universal lower bound, swept over rank gamma.
+
+For each achievable ``rank gamma`` we generate a BMMC instance with that
+exact rank, run the Theorem 21 algorithm, and report measured parallel
+I/Os against the Theorem 3 expression and the sharpened Section 7 form.
+Asymptotic tightness = the measured/LB ratio stays bounded by a small
+constant across the whole sweep (and across geometries).
+"""
+
+import numpy as np
+
+from repro.bits.random import random_bmmc_with_rank_gamma
+from repro.core import bounds
+from repro.core.bmmc_algorithm import perform_bmmc
+from repro.pdm.geometry import DiskGeometry
+from repro.perms.bmmc import BMMCPermutation
+
+from benchmarks.conftest import BENCH_GEOMETRY, SEED, fresh_system, write_result
+
+
+def _sweep(geometry):
+    rows = []
+    for r in range(min(geometry.b, geometry.n - geometry.b) + 1):
+        a = random_bmmc_with_rank_gamma(
+            geometry.n, geometry.b, r, np.random.default_rng(SEED + r)
+        )
+        perm = BMMCPermutation(a)
+        system = fresh_system(geometry)
+        result = perform_bmmc(system, perm)
+        assert system.verify_permutation(
+            perm, np.arange(geometry.N), result.final_portion
+        )
+        lb = bounds.theorem3_lower_bound(geometry, r)
+        sharp = bounds.sharpened_lower_bound(geometry, r)
+        ub = bounds.theorem21_upper_bound(geometry, r)
+        measured = result.parallel_ios
+        assert sharp <= measured <= ub
+        rows.append(
+            [
+                r,
+                measured,
+                f"{lb:.1f}",
+                f"{sharp:.1f}",
+                ub,
+                f"{measured / lb:.2f}",
+            ]
+        )
+    return rows
+
+
+def test_theorem3_rank_sweep(benchmark):
+    geometry = DiskGeometry(**BENCH_GEOMETRY)
+    rows = benchmark.pedantic(lambda: _sweep(geometry), rounds=1, iterations=1)
+    # tightness: ratio bounded by a small constant over the whole sweep
+    ratios = [float(row[-1]) for row in rows]
+    assert max(ratios) <= 6.0
+    write_result(
+        "THM3",
+        f"Theorem 3 lower-bound sweep on {geometry.describe()}",
+        ["rank gamma", "measured I/Os", "Thm 3 LB", "sharpened LB", "Thm 21 UB", "measured/LB"],
+        rows,
+    )
+    benchmark.extra_info["max_ratio"] = max(ratios)
+
+
+def test_theorem3_across_geometries(benchmark):
+    """The bounded-ratio property must hold across geometry shapes, not
+    just one configuration."""
+    geometries = [
+        DiskGeometry(N=2**14, B=2**3, D=2**2, M=2**8),
+        DiskGeometry(N=2**16, B=2**5, D=2**2, M=2**9),
+        DiskGeometry(N=2**15, B=2**2, D=2**4, M=2**8),
+        DiskGeometry(N=2**14, B=2**4, D=2**0, M=2**7),
+    ]
+
+    def sweep_all():
+        out = []
+        for g in geometries:
+            r = min(g.b, g.n - g.b)
+            a = random_bmmc_with_rank_gamma(g.n, g.b, r, np.random.default_rng(SEED))
+            perm = BMMCPermutation(a)
+            system = fresh_system(g)
+            result = perform_bmmc(system, perm)
+            assert system.verify_permutation(perm, np.arange(g.N), result.final_portion)
+            lb = bounds.theorem3_lower_bound(g, r)
+            out.append((g.describe(), r, result.parallel_ios, lb))
+        return out
+
+    data = benchmark.pedantic(sweep_all, rounds=1, iterations=1)
+    rows = []
+    for desc, r, measured, lb in data:
+        ratio = measured / lb
+        assert ratio <= 6.0
+        rows.append([desc, r, measured, f"{lb:.1f}", f"{ratio:.2f}"])
+    write_result(
+        "THM3-geometries",
+        "Theorem 3 tightness across geometries (max-rank instances)",
+        ["geometry", "rank gamma", "measured I/Os", "Thm 3 LB", "ratio"],
+        rows,
+    )

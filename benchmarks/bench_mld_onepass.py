@@ -1,0 +1,80 @@
+"""THM15: MLD permutations complete in exactly one pass.
+
+Theorem 15 plus the Section 3 I/O discipline: ``2N/BD`` parallel I/Os,
+all reads striped, all writes independent with one block per disk and
+``M/BD`` blocks per disk per memoryload.  The bench measures all of it
+on random MLD instances spanning the admissible gamma ranks.
+"""
+
+import numpy as np
+
+from repro.bits.random import random_mld_matrix
+from repro.core.mld_algorithm import perform_mld_pass
+from repro.pdm.geometry import DiskGeometry
+from repro.perms.bmmc import BMMCPermutation
+
+from benchmarks.conftest import BENCH_GEOMETRY, SEED, fresh_system, write_result
+
+
+GEOMETRY = DiskGeometry(**BENCH_GEOMETRY)
+
+
+def _run_one(perm):
+    system = fresh_system(GEOMETRY)
+    perform_mld_pass(system, perm, 0, 1)
+    assert system.verify_permutation(perm, np.arange(GEOMETRY.N), 1)
+    return system.stats
+
+
+def test_mld_one_pass_io_discipline(benchmark):
+    g = GEOMETRY
+    max_rank = min(g.m - g.b, g.n - g.m)
+    perms = [
+        BMMCPermutation(
+            random_mld_matrix(g.n, g.b, g.m, np.random.default_rng(SEED + gr), gamma_rank=gr)
+        )
+        for gr in range(max_rank + 1)
+    ]
+
+    stats_list = benchmark.pedantic(
+        lambda: [_run_one(p) for p in perms], rounds=1, iterations=1
+    )
+
+    rows = []
+    for gr, stats in zip(range(max_rank + 1), stats_list):
+        assert stats.parallel_ios == g.one_pass_ios
+        assert stats.striped_reads == g.num_stripes
+        assert stats.parallel_writes == g.num_stripes
+        assert stats.blocks_written == g.num_blocks  # every write moves D blocks
+        rows.append(
+            [
+                gr,
+                stats.parallel_ios,
+                g.one_pass_ios,
+                stats.striped_reads,
+                stats.independent_writes + stats.striped_writes,
+            ]
+        )
+    write_result(
+        "THM15",
+        f"MLD one-pass check on {g.describe()} (paper: exactly 2N/BD = {g.one_pass_ios})",
+        ["gamma rank", "measured I/Os", "2N/BD", "striped reads", "writes"],
+        rows,
+    )
+    benchmark.extra_info["one_pass_ios"] = g.one_pass_ios
+
+
+def test_mld_throughput(benchmark):
+    """Raw simulator throughput for a single one-pass MLD permutation --
+    the substrate cost of every pass in every other bench."""
+    g = GEOMETRY
+    perm = BMMCPermutation(random_mld_matrix(g.n, g.b, g.m, np.random.default_rng(SEED)))
+
+    def run():
+        system = fresh_system(g)
+        perform_mld_pass(system, perm, 0, 1)
+        return system
+
+    system = benchmark(run)
+    assert system.stats.parallel_ios == g.one_pass_ios
+    benchmark.extra_info["records"] = g.N

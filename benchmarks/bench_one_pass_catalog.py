@@ -1,0 +1,100 @@
+"""EXT-CATALOG: the one-pass permutation catalog and its I/O disciplines.
+
+Section 7: "What other permutations can be performed quickly?  Several
+O(1)-pass permutation classes appear in [3], and this paper has added
+one more (MLD) ... One can also show that the inverse of any one-pass
+permutation is a one-pass permutation."
+
+This bench runs one representative of each one-pass class on the same
+geometry and measures the full I/O discipline with the trace module:
+
+| class       | reads       | writes      |
+|-------------|-------------|-------------|
+| MRC         | striped     | striped     |
+| MLD         | striped     | independent |
+| inverse-MLD | independent | striped     |
+
+All take exactly ``2N/BD`` parallel I/Os at 100% disk parallelism.
+"""
+
+import numpy as np
+
+from repro.bits import linalg
+from repro.bits.random import random_mld_matrix, random_mrc_matrix
+from repro.core.inverse_mld import perform_inverse_mld_pass
+from repro.core.mld_algorithm import perform_mld_pass
+from repro.core.mrc_algorithm import perform_mrc_pass
+from repro.pdm.geometry import DiskGeometry
+from repro.pdm.trace import IOTrace
+from repro.perms.bmmc import BMMCPermutation
+
+from benchmarks.conftest import BENCH_GEOMETRY, SEED, fresh_system, write_result
+
+
+GEOMETRY = DiskGeometry(**BENCH_GEOMETRY)
+
+
+def _run_catalog():
+    from repro.core.inverse_mld import perform_mld_composition_pass
+
+    g = GEOMETRY
+    rng = np.random.default_rng(SEED)
+    mld_matrix = random_mld_matrix(g.n, g.b, g.m, rng)
+    other_mld = random_mld_matrix(g.n, g.b, g.m, rng)
+    cases = [
+        ("MRC", BMMCPermutation(random_mrc_matrix(g.n, g.m, rng)), perform_mrc_pass),
+        ("MLD", BMMCPermutation(mld_matrix), perform_mld_pass),
+        (
+            "inverse-MLD",
+            BMMCPermutation(linalg.inverse(mld_matrix), validate=False),
+            perform_inverse_mld_pass,
+        ),
+    ]
+    out = []
+    for name, perm, performer in cases:
+        system = fresh_system(g)
+        trace = IOTrace(system)
+        performer(system, perm, 0, 1)
+        assert system.verify_permutation(perm, np.arange(g.N), 1)
+        out.append((name, trace, system.stats))
+    # fourth row: MLD o MLD^-1 (independent reads AND writes)
+    system = fresh_system(g)
+    trace = IOTrace(system)
+    composed = perform_mld_composition_pass(
+        system, BMMCPermutation(other_mld), BMMCPermutation(mld_matrix)
+    )
+    assert system.verify_permutation(composed, np.arange(g.N), 1)
+    out.append(("MLD o MLD^-1", trace, system.stats))
+    return out
+
+
+def test_one_pass_catalog(benchmark):
+    g = GEOMETRY
+    data = benchmark.pedantic(_run_catalog, rounds=1, iterations=1)
+    rows = []
+    for name, trace, stats in data:
+        summary = trace.summary()
+        assert stats.parallel_ios == g.one_pass_ios
+        assert summary.efficiency == 1.0  # every op moves D blocks
+        read_kind = "striped" if all(r.striped for r in trace.reads()) else "independent"
+        write_kind = "striped" if all(r.striped for r in trace.writes()) else "independent"
+        rows.append(
+            [
+                name,
+                stats.parallel_ios,
+                read_kind,
+                write_kind,
+                f"{summary.efficiency:.0%}",
+                f"{summary.load_imbalance:.2f}",
+            ]
+        )
+    # the disciplines the paper's catalog predicts
+    assert rows[0][2] == "striped" and rows[0][3] == "striped"  # MRC
+    assert rows[1][2] == "striped"  # MLD reads
+    assert rows[2][3] == "striped"  # inverse-MLD writes
+    write_result(
+        "EXT-CATALOG",
+        f"One-pass catalog on {g.describe()} (2N/BD = {g.one_pass_ios})",
+        ["class", "I/Os", "reads", "writes", "parallelism", "load imbalance"],
+        rows,
+    )

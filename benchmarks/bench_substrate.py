@@ -1,0 +1,90 @@
+"""SUBSTRATE: micro-benchmarks of the GF(2) kernels and the simulator.
+
+The paper notes its on-line computations are cheap -- "even serial
+algorithms for the harder computations take time polynomial in lg N, in
+fact O(lg^3 N)" -- and all data structures are at most lg N x lg N.
+These benches time the actual kernels (rank, inverse, factoring,
+vectorized affine application) plus a full simulator pass, so the cost
+claims of Sections 5-6 are backed by measurements.
+"""
+
+import numpy as np
+
+from repro.bits import bitops, linalg
+from repro.bits.random import random_nonsingular
+from repro.core.factoring import factor_bmmc
+from repro.pdm.geometry import DiskGeometry
+from repro.perms.bmmc import BMMCPermutation
+from repro.perms.library import gray_code
+
+from benchmarks.conftest import BENCH_GEOMETRY, SEED, fresh_system
+
+
+N_BITS = 32  # a 4-billion-record address space: matrices are 32x32
+
+
+def test_gf2_rank(benchmark):
+    a = random_nonsingular(N_BITS, np.random.default_rng(SEED))
+    assert benchmark(linalg.rank, a) == N_BITS
+
+
+def test_gf2_inverse(benchmark):
+    a = random_nonsingular(N_BITS, np.random.default_rng(SEED))
+    inv = benchmark(linalg.inverse, a)
+    assert (a @ inv).is_identity
+
+
+def test_gf2_kernel_basis(benchmark):
+    from repro.bits.random import random_matrix_with_rank
+
+    a = random_matrix_with_rank(N_BITS, N_BITS, N_BITS // 2, np.random.default_rng(SEED))
+    basis = benchmark(linalg.kernel_basis, a)
+    assert basis.num_cols == N_BITS - N_BITS // 2
+
+
+def test_factoring_large_address_space(benchmark):
+    """Factoring a 32x32 characteristic matrix (the per-permutation planning
+    cost of the Theorem 21 algorithm -- all O(lg^3 N) work)."""
+    a = random_nonsingular(N_BITS, np.random.default_rng(SEED))
+    b, m = 4, 20
+    fact = benchmark(factor_bmmc, a, b, m)
+    assert fact.product_of_merged() == a
+
+
+def test_vectorized_affine_application(benchmark):
+    """y = A x (+) c over 2^16 addresses: the data-movement hot path."""
+    n = 16
+    a = random_nonsingular(n, np.random.default_rng(SEED))
+    xs = np.arange(1 << n, dtype=np.uint64)
+    ys = benchmark(bitops.apply_affine, a, 0b1011, xs)
+    assert np.unique(np.asarray(ys)).size == 1 << n
+
+
+def test_simulator_full_pass(benchmark):
+    """One full MRC pass over N=2^16 records: the simulator's unit of work."""
+    g = DiskGeometry(**BENCH_GEOMETRY)
+    perm = gray_code(g.n)
+
+    def run():
+        from repro.core.mrc_algorithm import perform_mrc_pass
+
+        system = fresh_system(g)
+        perform_mrc_pass(system, perm, 0, 1)
+        return system
+
+    system = benchmark(run)
+    assert system.stats.parallel_ios == g.one_pass_ios
+
+
+def test_detection_formation_only(benchmark):
+    """Candidate formation alone (the ceil((lg(N/B)+1)/D) reads)."""
+    from repro.core.detect import detect_bmmc, store_target_vector
+    from repro.pdm.system import ParallelDiskSystem
+
+    g = DiskGeometry(**BENCH_GEOMETRY)
+    perm = BMMCPermutation(random_nonsingular(g.n, np.random.default_rng(SEED)))
+    system = ParallelDiskSystem(g, simple_io=False)
+    store_target_vector(system, perm)
+
+    result = benchmark(detect_bmmc, system, 0, False)
+    assert result.matrix == perm.matrix

@@ -1,0 +1,172 @@
+"""CMP-GEN: the headline comparison -- BMMC algorithm vs. general permuting.
+
+Section 1: "Depending on the exact BMMC permutation, our asymptotically
+optimal bound may be significantly lower than the asymptotically optimal
+bound proven for general permutations."  We measure both algorithms on
+the same instances and report the savings factor as a function of
+rank gamma and of N.
+"""
+
+import numpy as np
+
+from repro.bits.random import random_bmmc_with_rank_gamma
+from repro.core import bounds
+from repro.core.bmmc_algorithm import perform_bmmc
+from repro.core.general import perform_general_sort
+from repro.pdm.geometry import DiskGeometry
+from repro.perms.bmmc import BMMCPermutation
+
+from benchmarks.conftest import SEED, fresh_system, write_result
+
+
+# Geometry chosen so the sorting bound has several passes: small lg(M/B)
+# relative to lg(N/B).
+GEOMETRY = DiskGeometry(N=2**16, B=2**4, D=2**2, M=2**8)
+
+
+def _both(perm, geometry):
+    s1 = fresh_system(geometry)
+    r1 = perform_bmmc(s1, perm)
+    assert s1.verify_permutation(perm, np.arange(geometry.N), r1.final_portion)
+    s2 = fresh_system(geometry)
+    r2 = perform_general_sort(s2, perm)
+    assert s2.verify_permutation(perm, np.arange(geometry.N), r2.final_portion)
+    return r1, r2
+
+
+def test_bmmc_vs_general_rank_sweep(benchmark):
+    g = GEOMETRY
+
+    def sweep():
+        out = []
+        for r in range(min(g.b, g.n - g.b) + 1):
+            a = random_bmmc_with_rank_gamma(g.n, g.b, r, np.random.default_rng(SEED + r))
+            perm = BMMCPermutation(a)
+            out.append((r, *_both(perm, g)))
+        return out
+
+    data = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = []
+    for r, bmmc_res, gen_res in data:
+        factor = gen_res.parallel_ios / bmmc_res.parallel_ios
+        # the BMMC algorithm must never lose, and must win clearly at low rank
+        assert bmmc_res.parallel_ios <= gen_res.parallel_ios
+        rows.append(
+            [r, bmmc_res.passes, bmmc_res.parallel_ios, gen_res.passes, gen_res.parallel_ios, f"{factor:.2f}x"]
+        )
+    low_rank_factor = float(rows[0][-1][:-1])
+    assert low_rank_factor >= 2.0, "low-rank BMMC should win by a wide margin"
+    write_result(
+        "CMP-GEN",
+        f"BMMC algorithm vs general merge sort on {g.describe()}",
+        ["rank gamma", "BMMC passes", "BMMC I/Os", "sort passes", "sort I/Os", "savings"],
+        rows,
+    )
+    benchmark.extra_info["low_rank_savings"] = low_rank_factor
+
+
+def test_bmmc_vs_general_n_sweep(benchmark):
+    """As N grows at fixed M, B, D the sorting bound's pass count grows
+    like lg(N/B)/lg(M/B) while the BMMC pass count stays flat -- the gap
+    widens (the paper's asymptotic claim, visible at finite sizes)."""
+    geometries = [DiskGeometry(N=2**n, B=2**4, D=2**2, M=2**8) for n in (12, 14, 16, 18)]
+
+    def sweep():
+        out = []
+        for g in geometries:
+            a = random_bmmc_with_rank_gamma(g.n, g.b, 2, np.random.default_rng(SEED))
+            perm = BMMCPermutation(a)
+            out.append((g, *_both(perm, g)))
+        return out
+
+    data = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = []
+    factors = []
+    for g, bmmc_res, gen_res in data:
+        factor = gen_res.parallel_ios / bmmc_res.parallel_ios
+        factors.append(factor)
+        rows.append(
+            [
+                f"2^{g.n}",
+                bmmc_res.passes,
+                gen_res.passes,
+                bmmc_res.parallel_ios,
+                gen_res.parallel_ios,
+                f"{factor:.2f}x",
+            ]
+        )
+    assert factors[-1] >= factors[0], "gap must not shrink as N grows"
+    write_result(
+        "CMP-GEN-scaling",
+        "Savings vs N at fixed B=16, D=4, M=256 (rank gamma = 2)",
+        ["N", "BMMC passes", "sort passes", "BMMC I/Os", "sort I/Os", "savings"],
+        rows,
+    )
+
+
+def test_three_way_baseline_comparison(benchmark):
+    """BMMC algorithm vs both general baselines (striped merge sort and
+    randomized-placement distribution sort) on the same instances."""
+    from repro.core.distribution import perform_distribution_sort
+
+    g = DiskGeometry(N=2**14, B=2**3, D=2**2, M=2**8)
+
+    def sweep():
+        out = []
+        for r in range(min(g.b, g.n - g.b) + 1):
+            a = random_bmmc_with_rank_gamma(g.n, g.b, r, np.random.default_rng(SEED + r))
+            perm = BMMCPermutation(a)
+            s1 = fresh_system(g)
+            bmmc_res = perform_bmmc(s1, perm)
+            assert s1.verify_permutation(perm, np.arange(g.N), bmmc_res.final_portion)
+            s2 = fresh_system(g)
+            merge_res = perform_general_sort(s2, perm)
+            assert s2.verify_permutation(perm, np.arange(g.N), merge_res.final_portion)
+            s3 = fresh_system(g)
+            dist_res = perform_distribution_sort(s3, perm)
+            assert s3.verify_permutation(perm, np.arange(g.N), dist_res.final_portion)
+            out.append((r, bmmc_res, merge_res, dist_res))
+        return out
+
+    data = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = []
+    for r, bmmc_res, merge_res, dist_res in data:
+        assert bmmc_res.parallel_ios <= merge_res.parallel_ios
+        assert bmmc_res.parallel_ios <= dist_res.parallel_ios
+        rows.append(
+            [
+                r,
+                bmmc_res.parallel_ios,
+                merge_res.parallel_ios,
+                dist_res.parallel_ios,
+                f"{dist_res.blocks_per_pass_read / dist_res.read_ops:.2f}/{g.D}",
+            ]
+        )
+    write_result(
+        "CMP-GEN-threeway",
+        f"BMMC vs merge sort vs randomized distribution sort on {g.describe()}",
+        ["rank gamma", "BMMC I/Os", "merge I/Os", "distribution I/Os", "dist read parallelism"],
+        rows,
+    )
+
+
+def test_general_baseline_matches_formula(benchmark):
+    """The baseline itself must behave: measured = passes * 2N/BD with the
+    exact pass formula."""
+    g = GEOMETRY
+    a = random_bmmc_with_rank_gamma(g.n, g.b, 1, np.random.default_rng(SEED + 99))
+    perm = BMMCPermutation(a)
+
+    def run():
+        s = fresh_system(g)
+        return perform_general_sort(s, perm)
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert res.passes == bounds.merge_sort_passes(g)
+    assert res.parallel_ios == res.passes * g.one_pass_ios
+    write_result(
+        "CMP-GEN-baseline",
+        f"General merge-sort baseline self-check on {g.describe()}",
+        ["fan-in", "passes", "formula", "I/Os", "passes * 2N/BD"],
+        [[res.fan_in, res.passes, bounds.merge_sort_passes(g), res.parallel_ios, res.passes * g.one_pass_ios]],
+    )

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Out-of-core matrix transposition -- the paper's motivating workload.
+
+An R x S matrix too large for memory lives on a parallel disk system in
+column-major order.  Transposition is the classic BPC permutation; this
+example transposes several shapes, compares the BMMC algorithm's
+measured I/Os with (a) the dedicated Vitter-Shriver transposition bound
+shape, (b) the general-permutation merge sort, and verifies the final
+layout element by element.
+
+Run:  python examples/out_of_core_transpose.py
+"""
+
+import numpy as np
+
+from repro import DiskGeometry, ParallelDiskSystem, bounds
+from repro.core.bmmc_algorithm import perform_bmmc
+from repro.core.general import perform_general_sort
+from repro.perms.library import matrix_transpose
+
+
+def transpose_once(geometry: DiskGeometry, lg_rows: int) -> dict:
+    lg_cols = geometry.n - lg_rows
+    perm = matrix_transpose(lg_rows, lg_cols)
+
+    system = ParallelDiskSystem(geometry)
+    system.fill_identity(0)
+    result = perform_bmmc(system, perm)
+    assert system.verify_permutation(perm, np.arange(geometry.N), result.final_portion)
+
+    # check the data really is the transpose: element (i, j) of the
+    # column-major R x S input must now sit at address j + S*i.
+    out = system.portion_values(result.final_portion)
+    r_dim, s_dim = 1 << lg_rows, 1 << lg_cols
+    rng = np.random.default_rng(0)
+    for _ in range(100):
+        i, j = int(rng.integers(0, r_dim)), int(rng.integers(0, s_dim))
+        assert out[j + s_dim * i] == i + r_dim * j
+
+    baseline = ParallelDiskSystem(geometry)
+    baseline.fill_identity(0)
+    general = perform_general_sort(baseline, perm)
+
+    return {
+        "shape": f"{r_dim}x{s_dim}",
+        "rank_gamma": perm.rank_gamma(geometry.b),
+        "passes": result.passes,
+        "ios": result.parallel_ios,
+        "thm21": bounds.theorem21_upper_bound(geometry, perm.rank_gamma(geometry.b)),
+        "general_ios": general.parallel_ios,
+    }
+
+
+def main() -> None:
+    geometry = DiskGeometry(N=2**14, B=2**4, D=2**2, M=2**8)
+    print("geometry:", geometry.describe())
+    print()
+    header = f"{'shape':>12} {'rank g':>7} {'passes':>7} {'BMMC I/Os':>10} {'Thm21 UB':>9} {'sort I/Os':>10} {'savings':>8}"
+    print(header)
+    print("-" * len(header))
+    for lg_rows in range(2, geometry.n - 1, 2):
+        row = transpose_once(geometry, lg_rows)
+        savings = row["general_ios"] / row["ios"]
+        print(
+            f"{row['shape']:>12} {row['rank_gamma']:>7} {row['passes']:>7} "
+            f"{row['ios']:>10} {row['thm21']:>9} {row['general_ios']:>10} {savings:>7.2f}x"
+        )
+    print(
+        "\nNote how the cost tracks rank gamma = lg min(B, R, S, N/B) -- the\n"
+        "transposition-specific bound of Vitter-Shriver falls out of the\n"
+        "general BMMC bound, which is the point of the paper's Section 1."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The offline environment lacks the ``wheel`` package that PEP 660
+editable installs require, so ``pip install -e . --no-use-pep517
+--no-build-isolation`` takes the legacy ``setup.py develop`` path via
+this file.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,12 @@
+"""Application drivers built on the library's public API.
+
+These are the workloads the paper's introduction motivates -- "matrices
+and vectors exceed the memory provided by even the largest
+supercomputers" -- implemented end to end on the simulated parallel
+disk system: the data never fits in memory, every byte moves through
+counted parallel I/O, and BMMC permutations do the staging.
+"""
+
+from repro.apps.fft import OutOfCoreFFTResult, out_of_core_fft
+
+__all__ = ["OutOfCoreFFTResult", "out_of_core_fft"]

@@ -1,0 +1,293 @@
+"""Column-addition matrices and the Section 4 matrix forms.
+
+A *column-addition matrix* ``Q`` post-multiplies a characteristic matrix
+(``A' = A Q``) to add specified columns of ``A`` into others:
+
+* ``q_jj = 1`` for every ``j`` (unit diagonal);
+* ``q_ij = 1`` (``i != j``) means "column ``A_i`` is added into ``A_j``";
+* the *dependency restriction*: if ``q_ij = 1`` then ``q_jk = 0`` for all
+  ``k != j`` -- a column that receives an addition is never itself added
+  into another column.
+
+Under that restriction, Lemma 19 shows ``Q = L U`` with ``L`` unit lower
+triangular and ``U`` unit upper triangular (both nonsingular), so every
+column-addition matrix is nonsingular.  The proof's split is direct:
+``L`` keeps the strictly-lower entries, ``U`` the strictly-upper ones,
+and the restriction forces the cross terms to vanish.
+
+Section 4 then specializes ``Q`` to four forms used by the factoring
+algorithm: *trailer*, *reducer*, *swapper*, and *erasure* matrices.  All
+constructors here take the section boundaries ``b`` (left), ``m``
+(middle/right split) explicitly and validate placement.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.bits.matrix import BitMatrix
+from repro.errors import ValidationError
+
+__all__ = [
+    "column_addition_matrix",
+    "is_column_addition_matrix",
+    "lu_factor_column_addition",
+    "trailer_matrix",
+    "is_trailer_form",
+    "reducer_matrix",
+    "is_reducer_form",
+    "swapper_matrix",
+    "is_swapper_form",
+    "erasure_matrix",
+    "is_erasure_form",
+    "is_mrc_form",
+    "is_mld_form",
+]
+
+
+def column_addition_matrix(n: int, additions: Iterable[tuple[int, int]]) -> BitMatrix:
+    """Build the ``n x n`` column-addition matrix for ``(source, dest)`` pairs.
+
+    Each pair ``(i, j)`` adds column ``i`` into column ``j``.  Raises
+    :class:`ValidationError` if the dependency restriction would be
+    violated or a column is added into itself.
+    """
+    a = np.eye(n, dtype=np.uint8)
+    sources: set[int] = set()
+    destinations: set[int] = set()
+    for i, j in additions:
+        if not (0 <= i < n and 0 <= j < n):
+            raise ValidationError(f"addition ({i}, {j}) out of range for n={n}")
+        if i == j:
+            raise ValidationError(f"column {i} cannot be added into itself")
+        sources.add(i)
+        destinations.add(j)
+        a[i, j] = 1
+    conflict = sources & destinations
+    if conflict:
+        raise ValidationError(
+            "dependency restriction violated: columns "
+            f"{sorted(conflict)} are both sources and destinations"
+        )
+    return BitMatrix(a)
+
+
+def is_column_addition_matrix(q: BitMatrix) -> bool:
+    """Unit diagonal plus the dependency restriction."""
+    if not q.is_square:
+        return False
+    a = q.to_array()
+    n = a.shape[0]
+    if not (np.diag(a) == 1).all():
+        return False
+    off = a.copy()
+    np.fill_diagonal(off, 0)
+    # if q_ij = 1 then row j (off-diagonal) must be all zero
+    receiving = np.flatnonzero(off.any(axis=0))  # columns j receiving additions
+    return not off[receiving, :].any()
+
+
+def lu_factor_column_addition(q: BitMatrix) -> tuple[BitMatrix, BitMatrix]:
+    """Lemma 19: factor a column-addition matrix as ``Q = L U``.
+
+    ``L`` is unit lower triangular, ``U`` unit upper triangular.  The
+    dependency restriction guarantees the strictly-lower and
+    strictly-upper parts do not interact, so the split is exact.
+    """
+    if not is_column_addition_matrix(q):
+        raise ValidationError("matrix is not a column-addition matrix")
+    a = q.to_array()
+    lower = np.tril(a)
+    upper = np.triu(a)
+    l_mat = BitMatrix(lower)
+    u_mat = BitMatrix(upper)
+    if l_mat @ u_mat != q:  # defensive: should be impossible per Lemma 19
+        raise ValidationError("LU split failed; dependency restriction broken")
+    return l_mat, u_mat
+
+
+# --------------------------------------------------------------------------
+# Section 4 forms.  Sections of the column index space:
+#   left   = [0, b)      (the lg B "offset" columns)
+#   middle = [b, m)      (the lg(M/B) "relative block" columns)
+#   right  = [m, n)      (the lg(N/M) "memoryload" columns)
+# --------------------------------------------------------------------------
+
+def _check_bounds(n: int, b: int, m: int) -> None:
+    if not (0 <= b <= m <= n):
+        raise ValidationError(f"need 0 <= b <= m <= n, got b={b}, m={m}, n={n}")
+
+
+def trailer_matrix(
+    n: int, b: int, m: int, additions: Iterable[tuple[int, int]]
+) -> BitMatrix:
+    """Trailer form ``T``: left/middle columns added into right columns.
+
+    Characterizes an MRC permutation (leading ``m x m`` block is ``I``,
+    lower-left block is 0, trailing block is ``I``).
+    """
+    _check_bounds(n, b, m)
+    additions = list(additions)
+    for i, j in additions:
+        if not (i < m and m <= j < n):
+            raise ValidationError(
+                f"trailer additions go from columns < m into columns >= m; got ({i}, {j})"
+            )
+    return column_addition_matrix(n, additions)
+
+
+def is_trailer_form(t: BitMatrix, b: int, m: int) -> bool:
+    n = t.num_rows
+    _check_bounds(n, b, m)
+    if not is_column_addition_matrix(t):
+        return False
+    a = t.to_array()
+    off = a.copy()
+    np.fill_diagonal(off, 0)
+    # off-diagonal entries only in rows < m, columns >= m
+    return not off[m:, :].any() and not off[:, :m].any()
+
+
+def reducer_matrix(
+    n: int, b: int, m: int, additions: Iterable[tuple[int, int]]
+) -> BitMatrix:
+    """Reducer form ``R``: left/middle columns added into left/middle columns.
+
+    The dependency restriction makes the leading ``m x m`` block a
+    column-addition matrix in its own right, hence nonsingular; the form
+    characterizes an MRC permutation.
+    """
+    _check_bounds(n, b, m)
+    additions = list(additions)
+    for i, j in additions:
+        if not (i < m and j < m):
+            raise ValidationError(
+                f"reducer additions stay within columns < m; got ({i}, {j})"
+            )
+    return column_addition_matrix(n, additions)
+
+
+def is_reducer_form(r: BitMatrix, b: int, m: int) -> bool:
+    n = r.num_rows
+    _check_bounds(n, b, m)
+    if not is_column_addition_matrix(r):
+        return False
+    a = r.to_array()
+    off = a.copy()
+    np.fill_diagonal(off, 0)
+    return not off[m:, :].any() and not off[:, m:].any() and not off[:m, m:].any()
+
+
+def swapper_matrix(n: int, m: int, leading_permutation: Sequence[int]) -> BitMatrix:
+    """Swapper form ``S``: permute the leftmost ``m`` columns.
+
+    ``leading_permutation[j] = i`` sends column ``j`` to column position
+    where bit ``j`` maps to bit ``i`` (the leading ``m x m`` block is the
+    permutation matrix with ``S[i, j] = 1``).  Characterizes an MRC
+    permutation.
+    """
+    if len(leading_permutation) != m:
+        raise ValidationError(f"leading permutation must have length m={m}")
+    if sorted(leading_permutation) != list(range(m)):
+        raise ValidationError("leading permutation must be a permutation of 0..m-1")
+    a = np.eye(n, dtype=np.uint8)
+    a[:m, :m] = 0
+    for j, i in enumerate(leading_permutation):
+        a[i, j] = 1
+    return BitMatrix(a)
+
+
+def is_swapper_form(s: BitMatrix, m: int) -> bool:
+    n = s.num_rows
+    if not s.is_square or m > n:
+        return False
+    a = s.to_array()
+    lead = BitMatrix(a[:m, :m]) if m else BitMatrix(np.zeros((0, 0), dtype=np.uint8))
+    if m and not lead.is_permutation_matrix:
+        return False
+    if a[m:, :m].any() or a[:m, m:].any():
+        return False
+    return bool((a[m:, m:] == np.eye(n - m, dtype=np.uint8)).all())
+
+
+def erasure_matrix(
+    n: int, b: int, m: int, additions: Iterable[tuple[int, int]]
+) -> BitMatrix:
+    """Erasure form ``E``: right columns added into middle columns.
+
+    The form characterizes an MLD permutation (the kernel of its middle
+    row band contains only vectors that the bottom band also kills), and
+    every erasure matrix is its own inverse: ``E @ E = I``.
+    """
+    _check_bounds(n, b, m)
+    additions = list(additions)
+    for i, j in additions:
+        if not (m <= i < n and b <= j < m):
+            raise ValidationError(
+                f"erasure additions go from columns >= m into middle columns; got ({i}, {j})"
+            )
+    return column_addition_matrix(n, additions)
+
+
+def is_erasure_form(e: BitMatrix, b: int, m: int) -> bool:
+    n = e.num_rows
+    _check_bounds(n, b, m)
+    if not is_column_addition_matrix(e):
+        return False
+    a = e.to_array()
+    off = a.copy()
+    np.fill_diagonal(off, 0)
+    # nonzero off-diagonal entries confined to rows >= m, columns in [b, m)
+    if off[:m, :].any():
+        return False
+    return not off[m:, :b].any() and not off[m:, m:].any()
+
+
+# --------------------------------------------------------------------------
+# class-form predicates shared with repro.perms (kept here to avoid cycles)
+# --------------------------------------------------------------------------
+
+def is_mrc_form(a: BitMatrix, m: int) -> bool:
+    """MRC form: lower-left ``(n-m) x m`` zero, leading and trailing nonsingular."""
+    from repro.bits.linalg import is_nonsingular
+
+    n = a.num_rows
+    if not a.is_square or not (0 <= m <= n):
+        return False
+    arr = a.to_array()
+    if arr[m:, :m].any():
+        return False
+    lead = BitMatrix(arr[:m, :m]) if m else None
+    trail = BitMatrix(arr[m:, m:]) if m < n else None
+    if lead is not None and not is_nonsingular(lead):
+        return False
+    if trail is not None and not is_nonsingular(trail):
+        return False
+    return True
+
+
+def is_mld_form(a: BitMatrix, b: int, m: int) -> bool:
+    """MLD form: nonsingular with the kernel condition ``ker mu <= ker gamma``.
+
+    ``mu = A[b:m, 0:m]`` and ``gamma = A[m:n, 0:m]``.  Uses the two-step
+    check of Section 6: a basis of ``ker mu`` must have exactly ``b``
+    vectors, each of which ``gamma`` must kill.
+    """
+    from repro.bits.linalg import is_nonsingular, kernel_basis
+
+    n = a.num_rows
+    _check_bounds(n, b, m)
+    if not is_nonsingular(a):
+        return False
+    mu = a[b:m, 0:m]
+    gamma = a[m:n, 0:m]
+    ker = kernel_basis(mu)
+    if ker.num_cols != b:
+        # dim(ker mu) = m - rank(mu); MLD requires rank(mu) = m - b exactly
+        return False
+    if gamma.num_rows == 0:
+        return True
+    product = gamma @ ker
+    return product.is_zero

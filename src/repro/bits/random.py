@@ -1,0 +1,200 @@
+"""Seeded random generators for matrices and permutation instances.
+
+The paper's bounds are parameterized by structural quantities -- most
+importantly ``rank gamma`` for ``gamma = A[b:n, 0:b]`` -- so the
+benchmark sweeps need instances with those quantities *prescribed*, not
+merely sampled.  Every generator takes a ``numpy.random.Generator`` so
+all experiments are reproducible from a printed seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bits.colops import is_mld_form
+from repro.bits.linalg import is_nonsingular, rank
+from repro.bits.matrix import BitMatrix
+from repro.errors import ValidationError
+
+__all__ = [
+    "random_matrix",
+    "random_nonsingular",
+    "random_matrix_with_rank",
+    "random_bmmc_matrix",
+    "random_bmmc_with_rank_gamma",
+    "random_bit_permutation",
+    "random_mrc_matrix",
+    "random_mld_matrix",
+]
+
+_MAX_REJECTION_TRIES = 10_000
+
+
+def _rng(rng: np.random.Generator | int | None) -> np.random.Generator:
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)
+
+
+def random_matrix(p: int, q: int, rng: np.random.Generator | int | None = None) -> BitMatrix:
+    """Uniformly random ``p x q`` 0-1 matrix."""
+    return BitMatrix(_rng(rng).integers(0, 2, size=(p, q), dtype=np.uint8))
+
+
+def random_nonsingular(n: int, rng: np.random.Generator | int | None = None) -> BitMatrix:
+    """Uniformly random nonsingular ``n x n`` matrix over GF(2).
+
+    Rejection sampling: a uniform random matrix is nonsingular with
+    probability ``prod_{i>=1} (1 - 2^-i) ~ 0.2888``, so a handful of
+    draws suffice and the conditional distribution is exactly uniform
+    over GL(n, 2).
+    """
+    if n == 0:
+        return BitMatrix(np.zeros((0, 0), dtype=np.uint8))
+    generator = _rng(rng)
+    for _ in range(_MAX_REJECTION_TRIES):
+        candidate = random_matrix(n, n, generator)
+        if is_nonsingular(candidate):
+            return candidate
+    raise ValidationError(f"failed to sample a nonsingular {n}x{n} matrix")
+
+
+def random_matrix_with_rank(
+    p: int, q: int, r: int, rng: np.random.Generator | int | None = None
+) -> BitMatrix:
+    """Random ``p x q`` matrix with rank exactly ``r``.
+
+    Built as ``X @ Y`` with ``X`` a full-column-rank ``p x r`` factor and
+    ``Y`` a full-row-rank ``r x q`` factor, so the rank is exactly ``r``
+    by construction.
+    """
+    if not (0 <= r <= min(p, q)):
+        raise ValidationError(f"rank {r} impossible for a {p}x{q} matrix")
+    if r == 0:
+        return BitMatrix.zeros(p, q)
+    generator = _rng(rng)
+    for _ in range(_MAX_REJECTION_TRIES):
+        x = random_matrix(p, r, generator)
+        if rank(x) == r:
+            break
+    else:  # pragma: no cover - astronomically unlikely
+        raise ValidationError("failed to sample a full-column-rank factor")
+    for _ in range(_MAX_REJECTION_TRIES):
+        y = random_matrix(r, q, generator)
+        if rank(y) == r:
+            break
+    else:  # pragma: no cover
+        raise ValidationError("failed to sample a full-row-rank factor")
+    return x @ y
+
+
+def random_bmmc_matrix(
+    n: int, rng: np.random.Generator | int | None = None
+) -> BitMatrix:
+    """Alias for :func:`random_nonsingular` (a BMMC characteristic matrix)."""
+    return random_nonsingular(n, rng)
+
+
+def random_bmmc_with_rank_gamma(
+    n: int, b: int, r: int, rng: np.random.Generator | int | None = None
+) -> BitMatrix:
+    """Random nonsingular ``n x n`` matrix with ``rank A[b:n, 0:b] == r``.
+
+    Construction: ``A = [[P1, 0], [G, P2]] @ [[I, W], [0, I]]`` where
+    ``P1`` (``b x b``) and ``P2`` (``(n-b) x (n-b)``) are random
+    nonsingular, ``G`` is a random ``(n-b) x b`` matrix of rank exactly
+    ``r``, and ``W`` is arbitrary.  The product is nonsingular (block
+    triangular factors with nonsingular diagonal blocks times a unit
+    upper-triangular factor) and its lower-left ``(n-b) x b`` block is
+    exactly ``G``, so ``rank gamma = r``.
+    """
+    if not (0 <= b <= n):
+        raise ValidationError(f"need 0 <= b <= n, got b={b}, n={n}")
+    if not (0 <= r <= min(b, n - b)):
+        raise ValidationError(
+            f"rank gamma = {r} impossible: gamma is {(n - b)}x{b}"
+        )
+    generator = _rng(rng)
+    p1 = random_nonsingular(b, generator)
+    p2 = random_nonsingular(n - b, generator)
+    g = random_matrix_with_rank(n - b, b, r, generator)
+    w = random_matrix(b, n - b, generator)
+    lower = BitMatrix.from_blocks([[p1, BitMatrix.zeros(b, n - b)], [g, p2]])
+    upper = BitMatrix.from_blocks(
+        [[BitMatrix.identity(b), w], [BitMatrix.zeros(n - b, b), BitMatrix.identity(n - b)]]
+    )
+    a = lower @ upper
+    assert rank(a[b:n, 0:b]) == r
+    return a
+
+
+def random_bit_permutation(
+    n: int, rng: np.random.Generator | int | None = None
+) -> BitMatrix:
+    """Random ``n x n`` permutation matrix (a BPC characteristic matrix)."""
+    generator = _rng(rng)
+    return BitMatrix.permutation(list(generator.permutation(n)))
+
+
+def random_mrc_matrix(
+    n: int, m: int, rng: np.random.Generator | int | None = None
+) -> BitMatrix:
+    """Random MRC characteristic matrix for memory size ``2^m``.
+
+    ``[[alpha, beta], [0, delta]]`` with ``alpha`` (``m x m``) and
+    ``delta`` (``(n-m) x (n-m)``) nonsingular and ``beta`` arbitrary.
+    """
+    if not (0 <= m <= n):
+        raise ValidationError(f"need 0 <= m <= n, got m={m}, n={n}")
+    generator = _rng(rng)
+    alpha = random_nonsingular(m, generator)
+    delta = random_nonsingular(n - m, generator)
+    beta = random_matrix(m, n - m, generator)
+    return BitMatrix.from_blocks(
+        [[alpha, beta], [BitMatrix.zeros(n - m, m), delta]]
+    )
+
+
+def random_mld_matrix(
+    n: int,
+    b: int,
+    m: int,
+    rng: np.random.Generator | int | None = None,
+    gamma_rank: int | None = None,
+) -> BitMatrix:
+    """Random MLD characteristic matrix.
+
+    The leading ``m`` columns are built to satisfy the kernel condition
+    structurally: ``mu`` (rows ``b..m-1``) is a random full-rank
+    ``(m-b) x m`` matrix and ``gamma`` (rows ``m..n-1``) is ``Z @ mu``
+    for random ``Z``, so ``mu x = 0`` implies ``gamma x = 0`` and
+    ``rank gamma <= m - b`` (Lemma 16).  The right ``n - m`` columns are
+    resampled until the whole matrix is nonsingular.
+
+    ``gamma_rank`` (defaults to ``min(m - b, n - m)``) prescribes
+    ``rank Z``, hence an upper bound on ``rank gamma``; with full-rank
+    ``mu`` it equals ``rank gamma`` exactly.
+    """
+    if not (0 <= b <= m <= n):
+        raise ValidationError(f"need 0 <= b <= m <= n, got b={b}, m={m}, n={n}")
+    generator = _rng(rng)
+    if gamma_rank is None:
+        gamma_rank = min(m - b, n - m)
+    if not (0 <= gamma_rank <= min(m - b, n - m)):
+        raise ValidationError(
+            f"gamma_rank={gamma_rank} impossible (limit {min(m - b, n - m)}, Lemma 16)"
+        )
+    for _ in range(_MAX_REJECTION_TRIES):
+        mu = random_matrix_with_rank(m - b, m, m - b, generator)
+        z = random_matrix_with_rank(n - m, m - b, gamma_rank, generator)
+        gamma = z @ mu
+        top = random_matrix(b, m, generator)
+        left = BitMatrix(
+            np.vstack([top.to_array(), mu.to_array(), gamma.to_array()])
+        )
+        right = random_matrix(n, n - m, generator)
+        a = BitMatrix(np.hstack([left.to_array(), right.to_array()]))
+        if is_nonsingular(a):
+            assert is_mld_form(a, b, m)
+            return a
+    raise ValidationError("failed to sample a nonsingular MLD matrix")

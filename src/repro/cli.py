@@ -1,0 +1,349 @@
+"""Command-line interface: explore the reproduction without writing code.
+
+Subcommands
+-----------
+``info``    geometry summary plus Figure 1 / Figure 2 renderings
+``bounds``  every closed-form bound for a geometry and rank gamma
+``run``     perform a named permutation on the simulator and report
+``detect``  run-time BMMC detection on a named permutation's vector
+``factor``  show the Section 5 factorization of a characteristic matrix
+
+Examples
+--------
+python -m repro info --N 64 --B 2 --D 8 --M 32
+python -m repro run --perm bit-reversal --N 4096 --B 8 --D 4 --M 128
+python -m repro run --perm random-bmmc --rank-gamma 2 --method general
+python -m repro detect --perm gray --tamper
+python -m repro factor --seed 7 --N 4096 --B 8 --D 4 --M 128
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro import bounds
+from repro.bits import linalg
+from repro.bits.random import (
+    random_bmmc_with_rank_gamma,
+    random_bit_permutation,
+    random_mld_matrix,
+    random_mrc_matrix,
+    random_nonsingular,
+)
+from repro.core.detect import detect_bmmc, store_target_vector
+from repro.core.factoring import factor_bmmc
+from repro.core.runner import perform_permutation
+from repro.errors import ReproError
+from repro.pdm.geometry import DiskGeometry
+from repro.pdm.layout import render_figure1, render_figure2
+from repro.pdm.system import ParallelDiskSystem
+from repro.pdm.trace import IOTrace, render_timeline
+from repro.perms.base import ExplicitPermutation
+from repro.perms.bmmc import BMMCPermutation
+from repro.perms import library
+
+__all__ = ["main", "build_parser"]
+
+PERM_CHOICES = [
+    "identity",
+    "transpose",
+    "bit-reversal",
+    "vector-reversal",
+    "gray",
+    "gray-inverse",
+    "permuted-gray",
+    "shuffle",
+    "random-bmmc",
+    "random-bpc",
+    "random-mrc",
+    "random-mld",
+    "random",
+]
+
+METHOD_CHOICES = [
+    "auto",
+    "mrc",
+    "mld",
+    "inv-mld",
+    "bmmc",
+    "bmmc-unmerged",
+    "general",
+    "distribution",
+]
+
+
+def _add_geometry_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--N", type=int, default=2**12, help="records (power of 2)")
+    parser.add_argument("--B", type=int, default=2**3, help="records per block")
+    parser.add_argument("--D", type=int, default=2**2, help="disks")
+    parser.add_argument("--M", type=int, default=2**7, help="memory records")
+
+
+def _geometry(args) -> DiskGeometry:
+    return DiskGeometry(N=args.N, B=args.B, D=args.D, M=args.M)
+
+
+def _make_permutation(name: str, geometry: DiskGeometry, seed: int, rank_gamma: int | None):
+    g = geometry
+    rng = np.random.default_rng(seed)
+    if name == "identity":
+        from repro.bits.matrix import BitMatrix
+
+        return BMMCPermutation(BitMatrix.identity(g.n))
+    if name == "transpose":
+        return library.matrix_transpose(g.n // 2, g.n - g.n // 2)
+    if name == "bit-reversal":
+        return library.bit_reversal(g.n)
+    if name == "vector-reversal":
+        return library.vector_reversal(g.n)
+    if name == "gray":
+        return library.gray_code(g.n)
+    if name == "gray-inverse":
+        return library.gray_code_inverse(g.n)
+    if name == "permuted-gray":
+        return library.permuted_gray_code(g.n, list(rng.permutation(g.n)))
+    if name == "shuffle":
+        return library.perfect_shuffle(g.n)
+    if name == "random-bmmc":
+        r = min(g.b, g.n - g.b) if rank_gamma is None else rank_gamma
+        return BMMCPermutation(
+            random_bmmc_with_rank_gamma(g.n, g.b, r, rng), int(rng.integers(0, g.N))
+        )
+    if name == "random-bpc":
+        return BMMCPermutation(random_bit_permutation(g.n, rng), validate=False)
+    if name == "random-mrc":
+        return BMMCPermutation(random_mrc_matrix(g.n, g.m, rng))
+    if name == "random-mld":
+        return BMMCPermutation(random_mld_matrix(g.n, g.b, g.m, rng))
+    if name == "random":
+        return ExplicitPermutation(rng.permutation(g.N))
+    raise ReproError(f"unknown permutation {name!r}")  # pragma: no cover
+
+
+# --------------------------------------------------------------------------
+# subcommands
+# --------------------------------------------------------------------------
+
+def cmd_info(args) -> int:
+    g = _geometry(args)
+    print(g.describe())
+    print(f"  n={g.n} b={g.b} d={g.d} m={g.m} s={g.s}")
+    print(f"  one pass = 2N/BD = {g.one_pass_ios} parallel I/Os")
+    print(f"  memoryloads = {g.num_memoryloads}, blocks = {g.num_blocks}")
+    print("\nFigure 1 layout:")
+    print(render_figure1(g, max_stripes=args.stripes))
+    print("\nFigure 2 address fields:")
+    print(render_figure2(g))
+    return 0
+
+
+def cmd_bounds(args) -> int:
+    g = _geometry(args)
+    r = args.rank_gamma if args.rank_gamma is not None else min(g.b, g.n - g.b)
+    print(g.describe())
+    print(f"rank gamma = {r}\n")
+    rows = [
+        ("Theorem 3 lower bound", bounds.theorem3_lower_bound(g, r)),
+        ("Section 7 sharpened LB", bounds.sharpened_lower_bound(g, r)),
+        ("Lemma 9 non-identity LB", bounds.nonidentity_lower_bound(g)),
+        ("Theorem 21 upper bound", float(bounds.theorem21_upper_bound(g, r))),
+        ("general-permutation bound", bounds.general_permutation_bound(g)),
+        ("merge-sort baseline I/Os", float(bounds.merge_sort_passes(g) * g.one_pass_ios)),
+        ("detection read bound", float(bounds.detection_read_bound(g))),
+        ("H(N,M,B) of [4] (eq. 1)", float(bounds.h_function(g))),
+        ("Delta_max per read", bounds.delta_max(g)),
+    ]
+    width = max(len(name) for name, _ in rows)
+    for name, value in rows:
+        print(f"  {name.ljust(width)} : {value:.2f}")
+    return 0
+
+
+def cmd_run(args) -> int:
+    g = _geometry(args)
+    perm = _make_permutation(args.perm, g, args.seed, args.rank_gamma)
+    system = ParallelDiskSystem(g)
+    system.fill_identity(0)
+    trace = IOTrace(system) if args.timeline or args.trace else None
+    report = perform_permutation(system, perm, method=args.method)
+    print(report.summary())
+    if trace is not None:
+        print()
+        print(trace.summary().table())
+        if args.timeline:
+            print()
+            print(render_timeline(trace, max_ops=args.timeline_ops))
+    return 0 if report.verified else 1
+
+
+def cmd_detect(args) -> int:
+    g = _geometry(args)
+    perm = _make_permutation(args.perm, g, args.seed, args.rank_gamma)
+    targets = perm.target_vector()
+    if args.tamper:
+        i, j = 1 % g.N, (g.N // 2 + 1) % g.N
+        targets[[i, j]] = targets[[j, i]]
+        print(f"(tampered: swapped targets of addresses {i} and {j})")
+    system = ParallelDiskSystem(g, simple_io=False)
+    store_target_vector(system, targets)
+    result = detect_bmmc(system)
+    bound = bounds.detection_read_bound(g)
+    if result.is_bmmc:
+        print(f"BMMC: yes (complement = {result.complement:#x})")
+        print(f"characteristic matrix:\n{result.matrix!r}")
+    else:
+        print(f"BMMC: no ({result.reason})")
+    print(
+        f"reads: {result.formation_reads} formation + "
+        f"{result.verification_reads} verification = {result.total_reads} "
+        f"(bound {bound})"
+    )
+    return 0
+
+
+def cmd_factor(args) -> int:
+    g = _geometry(args)
+    perm = _make_permutation(args.perm, g, args.seed, args.rank_gamma)
+    if not isinstance(perm, BMMCPermutation):
+        print("factoring requires a BMMC permutation", file=sys.stderr)
+        return 1
+    a = perm.matrix
+    fact = factor_bmmc(a, g.b, g.m)
+    print(f"matrix: {g.n}x{g.n}, rank gamma = {bounds.rank_gamma(a, g.b)}, "
+          f"rho = rank A[m:, :m] = {fact.rho}")
+    print(f"swap/erase rounds g = {fact.g}  (eq. 17: ceil(rho/lg(M/B)) = "
+          f"{-(-fact.rho // (g.m - g.b))})")
+    print(f"\neq. 18 apply order ({len(fact.apply_order)} factors):")
+    for f_ in fact.apply_order:
+        print(f"  {f_.name:<8} [{f_.kind}]")
+    print(f"\nmerged one-pass factors ({fact.num_passes} passes, Theorems 17/18):")
+    for f_ in fact.merged:
+        print(f"  {f_.name:<18} [{f_.kind}]")
+    print(f"\nrecomposition check: {'OK' if fact.product_of_merged() == a else 'FAILED'}")
+    print(f"predicted I/Os: {bounds.predicted_ios(a, g)} "
+          f"(Theorem 21 bound {bounds.theorem21_upper_bound(g, bounds.rank_gamma(a, g.b))})")
+    return 0
+
+
+def cmd_experiment(args) -> int:
+    from repro.experiments import run_experiment
+
+    g = _geometry(args)
+    table = run_experiment(args.id, g, args.seed)
+    print(table.render())
+    if args.plot:
+        chart = _experiment_chart(table)
+        if chart is None:
+            print("\n(no numeric sweep to plot for this experiment)")
+        else:
+            print("\n" + chart)
+    return 0
+
+
+def _experiment_chart(table) -> str | None:
+    """Plot numeric columns of a sweep table against its first column."""
+    from repro.plotting import Series, ascii_chart
+
+    def numeric(value):
+        try:
+            return float(str(value).rstrip("x%"))
+        except ValueError:
+            return None
+
+    xs = [numeric(row[0]) for row in table.rows]
+    if len(table.rows) < 2 or any(x is None for x in xs):
+        return None
+    markers = "MLUabcdef"
+    series = []
+    for col in range(1, len(table.headers)):
+        ys = [numeric(row[col]) for row in table.rows]
+        if any(y is None for y in ys):
+            continue
+        series.append(
+            Series(
+                str(table.headers[col]),
+                list(zip(xs, ys)),
+                marker=markers[(col - 1) % len(markers)],
+            )
+        )
+        if len(series) == 4:
+            break
+    if not series:
+        return None
+    return ascii_chart(series, x_label=str(table.headers[0]))
+
+
+# --------------------------------------------------------------------------
+# parser
+# --------------------------------------------------------------------------
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="BMMC permutations on parallel disk systems (Cormen et al., SPAA 1993)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_info = sub.add_parser("info", help="geometry summary and model figures")
+    _add_geometry_args(p_info)
+    p_info.add_argument("--stripes", type=int, default=4, help="stripes to render")
+    p_info.set_defaults(func=cmd_info)
+
+    p_bounds = sub.add_parser("bounds", help="closed-form bound table")
+    _add_geometry_args(p_bounds)
+    p_bounds.add_argument("--rank-gamma", type=int, default=None)
+    p_bounds.set_defaults(func=cmd_bounds)
+
+    p_run = sub.add_parser("run", help="perform a permutation and report")
+    _add_geometry_args(p_run)
+    p_run.add_argument("--perm", choices=PERM_CHOICES, default="random-bmmc")
+    p_run.add_argument("--method", choices=METHOD_CHOICES, default="auto")
+    p_run.add_argument("--seed", type=int, default=0)
+    p_run.add_argument("--rank-gamma", type=int, default=None)
+    p_run.add_argument("--trace", action="store_true", help="print schedule metrics")
+    p_run.add_argument("--timeline", action="store_true", help="ASCII disk timeline")
+    p_run.add_argument("--timeline-ops", type=int, default=64)
+    p_run.set_defaults(func=cmd_run)
+
+    p_detect = sub.add_parser("detect", help="run-time BMMC detection")
+    _add_geometry_args(p_detect)
+    p_detect.add_argument("--perm", choices=PERM_CHOICES, default="permuted-gray")
+    p_detect.add_argument("--seed", type=int, default=0)
+    p_detect.add_argument("--rank-gamma", type=int, default=None)
+    p_detect.add_argument("--tamper", action="store_true", help="break BMMC-ness")
+    p_detect.set_defaults(func=cmd_detect)
+
+    p_factor = sub.add_parser("factor", help="show the Section 5 factorization")
+    _add_geometry_args(p_factor)
+    p_factor.add_argument("--perm", choices=PERM_CHOICES, default="random-bmmc")
+    p_factor.add_argument("--seed", type=int, default=0)
+    p_factor.add_argument("--rank-gamma", type=int, default=None)
+    p_factor.set_defaults(func=cmd_factor)
+
+    p_exp = sub.add_parser("experiment", help="run a named paper experiment")
+    _add_geometry_args(p_exp)
+    from repro.experiments import EXPERIMENTS
+
+    p_exp.add_argument("id", choices=sorted(EXPERIMENTS), help="experiment id")
+    p_exp.add_argument("--seed", type=int, default=0)
+    p_exp.add_argument("--plot", action="store_true", help="ASCII chart of the sweep")
+    p_exp.set_defaults(func=cmd_experiment)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

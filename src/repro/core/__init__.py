@@ -1,0 +1,48 @@
+"""The paper's contribution: algorithms, bounds, and detection.
+
+* :mod:`repro.core.mrc_algorithm` / :mod:`repro.core.mld_algorithm` --
+  the one-pass performers (Table 1 row MRC; Theorem 15);
+* :mod:`repro.core.factoring` -- the Section 5 factorization
+  ``A = F E_g^-1 S_g^-1 ... E_1^-1 S_1^-1 P^-1``;
+* :mod:`repro.core.bmmc_algorithm` -- the asymptotically optimal BMMC
+  algorithm (Theorem 21);
+* :mod:`repro.core.general` -- the general-permutation baseline;
+* :mod:`repro.core.bounds` -- every closed-form bound in the paper;
+* :mod:`repro.core.potential` -- the Aggarwal-Vitter potential argument,
+  executable;
+* :mod:`repro.core.detect` -- Section 6 run-time detection;
+* :mod:`repro.core.runner` -- classification-driven dispatch.
+"""
+
+from repro.core.mrc_algorithm import perform_mrc_pass
+from repro.core.mld_algorithm import perform_mld_pass
+from repro.core.inverse_mld import is_inverse_mld, perform_inverse_mld_pass
+from repro.core.factoring import Factorization, factor_bmmc
+from repro.core.bmmc_algorithm import PlanStep, perform_bmmc, plan_bmmc_passes
+from repro.core.general import perform_general_sort
+from repro.core import bounds
+from repro.core.potential import PotentialTracker, compute_potential, f
+from repro.core.detect import DetectionResult, detect_bmmc, store_target_vector
+from repro.core.runner import RunReport, perform_permutation
+
+__all__ = [
+    "perform_mrc_pass",
+    "perform_mld_pass",
+    "is_inverse_mld",
+    "perform_inverse_mld_pass",
+    "Factorization",
+    "factor_bmmc",
+    "PlanStep",
+    "perform_bmmc",
+    "plan_bmmc_passes",
+    "perform_general_sort",
+    "bounds",
+    "PotentialTracker",
+    "compute_potential",
+    "f",
+    "DetectionResult",
+    "detect_bmmc",
+    "store_target_vector",
+    "RunReport",
+    "perform_permutation",
+]

@@ -1,0 +1,201 @@
+"""Section 6: detecting BMMC permutations at run time.
+
+The permutation is given as a vector of ``N`` target addresses stored on
+the parallel disk system (record at address ``x`` holds ``pi(x)``).  The
+detector
+
+1. checks ``N`` is a power of 2 (structural, free);
+2. forms the unique candidate ``(A, c)``: ``c = pi(0)`` and column
+   ``A_k = pi(2^k) (+) c`` -- but fetching naive unit-vector addresses
+   would hammer disk ``D_0``, so the paper's schedule spreads the work:
+   the first parallel read grabs block 0 (giving ``c`` and the ``b``
+   offset columns), stripe 0 of disks ``1, 2, 4, ..., D/2`` (the ``d``
+   disk columns), and stripe ``2^t`` of the ``t``-th non-power-of-two
+   disk (each yielding a stripe column after XORing out the known disk
+   columns, eq. 20); each subsequent read uses all ``D`` disks, one new
+   stripe bit each -- ``ceil((lg(N/B) + 1)/D)`` reads in total;
+3. checks the candidate matrix is nonsingular;
+4. verifies ``y = A x (+) c`` for all ``N`` addresses with ``N/BD``
+   striped reads, stopping at the first counterexample.
+
+Total: at most ``N/BD + ceil((lg(N/B)+1)/D)`` parallel reads, usually
+far fewer on non-BMMC inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bits import bitops, linalg
+from repro.bits.matrix import BitMatrix
+from repro.errors import DetectionError
+from repro.pdm.system import ParallelDiskSystem
+from repro.perms.base import Permutation
+from repro.perms.bmmc import BMMCPermutation
+
+__all__ = ["DetectionResult", "detect_bmmc", "store_target_vector", "formation_schedule"]
+
+
+@dataclass
+class DetectionResult:
+    """Outcome of run-time detection."""
+
+    is_bmmc: bool
+    matrix: BitMatrix | None
+    complement: int | None
+    formation_reads: int
+    verification_reads: int
+    reason: str = ""
+
+    @property
+    def total_reads(self) -> int:
+        return self.formation_reads + self.verification_reads
+
+    def permutation(self) -> BMMCPermutation:
+        if not self.is_bmmc:
+            raise DetectionError(f"not a BMMC permutation: {self.reason}")
+        return BMMCPermutation(self.matrix, self.complement, validate=False)
+
+
+def store_target_vector(
+    system: ParallelDiskSystem, perm_or_targets, portion: int = 0
+) -> None:
+    """Store a permutation's target vector as record payloads.
+
+    Record at address ``x`` holds ``pi(x)`` -- the input representation
+    Section 6 assumes.
+    """
+    if isinstance(perm_or_targets, Permutation):
+        targets = perm_or_targets.target_vector()
+    else:
+        targets = np.asarray(perm_or_targets, dtype=np.int64)
+    system.fill(portion, targets)
+
+
+def formation_schedule(geometry) -> list[list[tuple[int, int, int]]]:
+    """The candidate-formation parallel reads.
+
+    Returns a list of parallel reads; each read is a list of
+    ``(block_id, source_address, new_column_index)`` triples where
+    ``new_column_index`` is the matrix column that block resolves
+    (-1 for the block-0 read, which resolves ``c`` and columns
+    ``0..b+d-1`` via its offset records... block 0 carries index -1,
+    power-of-two-disk blocks carry their disk-column index).
+    """
+    g = geometry
+    schedule: list[list[tuple[int, int, int]]] = []
+    first: list[tuple[int, int, int]] = [(0, 0, -1)]  # block 0: c and offset columns
+    for j in range(g.d):
+        disk = 1 << j
+        first.append((disk, disk * g.B, g.b + j))  # stripe 0, disk 2^j
+    non_pow2 = [q for q in range(g.D) if q & (q - 1) and q != 0]
+    t = 0
+    for q in non_pow2:
+        if t >= g.s:
+            break
+        block = ((1 << t) << g.d) | q  # stripe 2^t, disk q
+        first.append((block, block * g.B, g.b + g.d + t))
+        t += 1
+    schedule.append(first)
+    while t < g.s:
+        batch: list[tuple[int, int, int]] = []
+        for q in range(g.D):
+            if t >= g.s:
+                break
+            block = ((1 << t) << g.d) | q
+            batch.append((block, block * g.B, g.b + g.d + t))
+            t += 1
+        schedule.append(batch)
+    return schedule
+
+
+def detect_bmmc(
+    system: ParallelDiskSystem,
+    portion: int = 0,
+    verify: bool = True,
+    early_exit: bool = True,
+) -> DetectionResult:
+    """Run-time BMMC detection on a stored target vector.
+
+    Issues exactly the paper's formation schedule (reads are
+    non-consuming: inspection must not destroy the data), then the
+    verification scan.  ``early_exit`` stops verification at the first
+    stripe containing a counterexample.
+    """
+    g = system.geometry
+    n, b, d = g.n, g.b, g.d
+
+    # ---- step 2: form candidate (A, c) ------------------------------------
+    columns: dict[int, int] = {}
+    complement = 0
+    formation_reads = 0
+    for batch in formation_schedule(g):
+        block_ids = [entry[0] for entry in batch]
+        values = system.read_blocks(portion, block_ids, consume=False)
+        system.memory.release(values.size)  # inspected and discarded
+        formation_reads += 1
+        for (block, address, col_index), block_values in zip(batch, values):
+            y0 = int(block_values[0])
+            if col_index == -1:
+                # block 0: offset 0 gives c, offsets 2^k give columns 0..b-1
+                complement = y0
+                for k in range(b):
+                    columns[k] = int(block_values[1 << k]) ^ complement
+            elif col_index < b + d:
+                columns[col_index] = y0 ^ complement
+            else:
+                # stripe column: XOR out the disk columns named by the
+                # disk number's set bits (eq. 20 with S_k = disk bits).
+                disk = g.block_disk(block)
+                acc = y0 ^ complement
+                for j in range(d):
+                    if (disk >> j) & 1:
+                        acc ^= columns[b + j]
+                columns[col_index] = acc
+
+    matrix = BitMatrix.from_int_columns([columns[k] for k in range(n)], n)
+
+    # ---- step 3: candidate must be nonsingular -----------------------------
+    if not linalg.is_nonsingular(matrix):
+        return DetectionResult(
+            is_bmmc=False,
+            matrix=None,
+            complement=None,
+            formation_reads=formation_reads,
+            verification_reads=0,
+            reason="candidate characteristic matrix is singular",
+        )
+
+    # ---- step 4: verify all N addresses ------------------------------------
+    verification_reads = 0
+    mismatch_stripe: int | None = None
+    if verify:
+        per = g.records_per_stripe
+        for stripe in range(g.num_stripes):
+            values = system.read_stripe(portion, stripe, consume=False)
+            system.memory.release(values.size)
+            verification_reads += 1
+            addresses = (stripe * per + np.arange(per, dtype=np.int64)).astype(np.uint64)
+            expected = bitops.apply_affine(matrix, complement, addresses)
+            if not (np.asarray(expected, dtype=np.int64) == values.reshape(-1)).all():
+                mismatch_stripe = stripe
+                if early_exit:
+                    break
+    if mismatch_stripe is not None:
+        return DetectionResult(
+            is_bmmc=False,
+            matrix=None,
+            complement=None,
+            formation_reads=formation_reads,
+            verification_reads=verification_reads,
+            reason=f"mismatch in stripe {mismatch_stripe}",
+        )
+    return DetectionResult(
+        is_bmmc=True,
+        matrix=matrix,
+        complement=complement,
+        formation_reads=formation_reads,
+        verification_reads=verification_reads,
+    )

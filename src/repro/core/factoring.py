@@ -1,0 +1,342 @@
+"""Section 5: factoring a BMMC characteristic matrix into one-pass factors.
+
+The pipeline transforms ``A`` (nonsingular ``n x n``) into an MRC matrix
+``F`` by right-multiplying with column-operation matrices:
+
+1. **Trailer** ``T`` -- add columns from the leftmost ``m`` into the
+   rightmost ``n-m`` so the trailing ``(n-m) x (n-m)`` submatrix becomes
+   nonsingular (Gaussian elimination chooses which columns);
+2. **Reducer** ``R`` -- zero out the linearly dependent columns of the
+   lower-left ``(n-m) x m`` submatrix, leaving ``rho = rank A[m:, :m]``
+   independent nonzero columns (*reduced form*); ``P = T R`` is MRC;
+3. **Swap/erase rounds** ``S_i, E_i`` -- each round swaps up to ``m-b``
+   remaining nonzero lower-left columns from the left section into zero
+   slots of the middle section (``S_i``, an MRC swapper) and then erases
+   the middle section's lower band by adding right-section columns
+   (``E_i``, an MLD erasure; possible because the trailing submatrix is
+   a basis for the bottom rows).  ``g = ceil(rho / (m-b))`` rounds
+   suffice (eq. 17).
+
+The factorization (eq. 18) is then
+
+    ``A = F E_g^-1 S_g^-1 ... E_1^-1 S_1^-1 P^-1``
+
+performed right to left (Corollary 2).  Merging per Theorems 17/18
+yields ``g + 1`` one-pass permutations: ``E_1^-1 S_1^-1 P^-1`` (MLD),
+``E_i^-1 S_i^-1`` for ``i >= 2`` (MLD), and ``F`` (MRC, absorbing the
+complement vector).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bits import linalg
+from repro.bits.colops import (
+    erasure_matrix,
+    is_erasure_form,
+    is_mld_form,
+    is_mrc_form,
+    is_reducer_form,
+    is_swapper_form,
+    is_trailer_form,
+    reducer_matrix,
+    swapper_matrix,
+    trailer_matrix,
+)
+from repro.bits.matrix import BitMatrix
+from repro.errors import SingularMatrixError, ValidationError
+
+__all__ = ["Factor", "Factorization", "factor_bmmc"]
+
+
+@dataclass(frozen=True)
+class Factor:
+    """One factor of the factorization, with its one-pass class certificate."""
+
+    matrix: BitMatrix
+    kind: str  # "mrc" or "mld"
+    name: str
+
+
+@dataclass
+class Factorization:
+    """Result of :func:`factor_bmmc`.
+
+    ``apply_order`` lists the factors in the order they are *performed*
+    (right to left in eq. 18): ``P^-1, S_1^-1, E_1^-1, ..., S_g^-1,
+    E_g^-1, F``.  ``merged`` lists the ``g + 1`` one-pass factors after
+    Theorem 17/18 grouping.
+    """
+
+    original: BitMatrix
+    b: int
+    m: int
+    trailer: BitMatrix
+    reducer: BitMatrix
+    swap_erase: list[tuple[BitMatrix, BitMatrix]]
+    final: BitMatrix
+    rho: int  # rank of A[m:, :m] -- nonzero columns entering the swap/erase loop
+    apply_order: list[Factor] = field(default_factory=list)
+    merged: list[Factor] = field(default_factory=list)
+
+    @property
+    def g(self) -> int:
+        """Number of swap/erase rounds, ``ceil(rho / (m - b))`` (eq. 17)."""
+        return len(self.swap_erase)
+
+    @property
+    def num_passes(self) -> int:
+        """Passes after merging: ``g + 1`` (Theorem 21's count)."""
+        return len(self.merged)
+
+    def product_of_apply_order(self) -> BitMatrix:
+        """Recompose: must equal ``original`` (performing right-to-left)."""
+        prod = BitMatrix.identity(self.original.num_rows)
+        for factor in self.apply_order:
+            prod = factor.matrix @ prod  # later factors multiply on the left
+        return prod
+
+    def product_of_merged(self) -> BitMatrix:
+        prod = BitMatrix.identity(self.original.num_rows)
+        for factor in self.merged:
+            prod = factor.matrix @ prod
+        return prod
+
+
+def factor_bmmc(matrix: BitMatrix, b: int, m: int, check: bool = True) -> Factorization:
+    """Factor a nonsingular matrix per Section 5.
+
+    ``b`` and ``m`` are the geometry's ``lg B`` and ``lg M``; requires
+    ``0 <= b < m <= n`` (``m > b`` because every bound divides by
+    ``lg(M/B)``).  With ``check=True`` every intermediate form and the
+    final recomposition are verified.
+    """
+    n = matrix.num_rows
+    if not (0 <= b < m <= n):
+        raise ValidationError(f"need 0 <= b < m <= n, got b={b}, m={m}, n={n}")
+    if not linalg.is_nonsingular(matrix):
+        raise SingularMatrixError("can only factor nonsingular characteristic matrices")
+
+    trailer = _build_trailer(matrix, b, m)
+    a1 = matrix @ trailer
+    if check and not linalg.is_nonsingular(a1[m:n, m:n]):
+        raise AssertionError("trailer failed to make the trailing submatrix nonsingular")
+
+    reducer = _build_reducer(a1, b, m)
+    a2 = a1 @ reducer
+    rho = linalg.rank(matrix[m:n, 0:m])
+    if check:
+        nonzero = sum(1 for j in range(m) if a2[m:n, 0:m].column(j) != 0)
+        if nonzero != rho:
+            raise AssertionError(
+                f"reduced form has {nonzero} nonzero lower-left columns, expected rho={rho}"
+            )
+
+    p = trailer @ reducer
+    if check and not is_mrc_form(p, m):
+        raise AssertionError("P = T R is not MRC")
+
+    swap_erase: list[tuple[BitMatrix, BitMatrix]] = []
+    cur = a2
+    guard = 0
+    while True:
+        bottom = cur[m:n, 0:m]
+        nonzero_cols = [j for j in range(m) if bottom.column(j) != 0]
+        if not nonzero_cols:
+            break
+        guard += 1
+        if guard > m + 1:  # cannot need more than ceil(m/(m-b)) <= m rounds
+            raise AssertionError("swap/erase loop failed to terminate")
+        swapper = _build_swapper(cur, b, m)
+        cur = cur @ swapper
+        eraser = _build_eraser(cur, b, m)
+        cur = cur @ eraser
+        if check and cur[m:n, b:m].column(0) is None:  # pragma: no cover
+            raise AssertionError("unreachable")
+        if check and not _middle_bottom_zero(cur, b, m):
+            raise AssertionError("erasure left nonzero columns in the lower middle band")
+        swap_erase.append((swapper, eraser))
+
+    final = cur
+    if check and not is_mrc_form(final, m):
+        raise AssertionError("final factor F is not MRC")
+
+    expected_g = -(-rho // (m - b))  # ceil(rho / (m - b)), eq. 17
+    if check and len(swap_erase) != expected_g:
+        raise AssertionError(
+            f"performed {len(swap_erase)} swap/erase rounds, eq. 17 predicts {expected_g}"
+        )
+
+    fact = Factorization(
+        original=matrix,
+        b=b,
+        m=m,
+        trailer=trailer,
+        reducer=reducer,
+        swap_erase=swap_erase,
+        final=final,
+        rho=rho,
+    )
+    fact.apply_order = _apply_order(fact, check)
+    fact.merged = _merge(fact, check)
+    if check:
+        if fact.product_of_apply_order() != matrix:
+            raise AssertionError("factor recomposition does not reproduce A")
+        if fact.product_of_merged() != matrix:
+            raise AssertionError("merged-pass recomposition does not reproduce A")
+    return fact
+
+
+# --------------------------------------------------------------------------
+# construction steps
+# --------------------------------------------------------------------------
+
+def _build_trailer(matrix: BitMatrix, b: int, m: int) -> BitMatrix:
+    """Make the trailing submatrix nonsingular by adding left/middle columns.
+
+    Works on the bottom ``n - m`` rows: choose a maximal independent set
+    ``V`` among the right-section columns, extend to a full basis with
+    left/middle columns ``W`` (possible because ``A`` is nonsingular, so
+    its bottom rows have full row rank), then add each ``w`` into a
+    distinct dependent right-section column.
+    """
+    n = matrix.num_rows
+    bottom = matrix[m:n, :]
+    kept, added = linalg.complete_column_basis(
+        bottom, primary=range(m, n), candidates=range(0, m)
+    )
+    if len(kept) + len(added) != n - m:
+        raise SingularMatrixError(
+            "bottom rows do not have full row rank; matrix is singular"
+        )
+    dependent_right = [j for j in range(m, n) if j not in set(kept)]
+    additions = list(zip(added, dependent_right))
+    return trailer_matrix(n, b, m, additions)
+
+
+def _build_reducer(a1: BitMatrix, b: int, m: int) -> BitMatrix:
+    """Zero the dependent columns of the lower-left band (reduced form)."""
+    n = a1.num_rows
+    gamma_full = a1[m:n, 0:m]
+    basis_cols = linalg.independent_columns(gamma_full)
+    basis_set = set(basis_cols)
+    additions: list[tuple[int, int]] = []
+    for j in range(m):
+        if j in basis_set:
+            continue
+        target = gamma_full.column(j)
+        if target == 0:
+            continue
+        sources = linalg.express_in_column_basis(gamma_full, basis_cols, target)
+        if sources is None:  # pragma: no cover - basis is maximal by construction
+            raise AssertionError("dependent column outside the span of the basis")
+        additions.extend((u, j) for u in sources)
+    return reducer_matrix(n, b, m, additions)
+
+
+def _build_swapper(cur: BitMatrix, b: int, m: int) -> BitMatrix:
+    """Swap nonzero lower-left columns into zero slots of the middle section."""
+    n = cur.num_rows
+    bottom = cur[m:n, 0:m]
+    nz_left = [j for j in range(b) if bottom.column(j) != 0]
+    nz_mid = {j for j in range(b, m) if bottom.column(j) != 0}
+    zero_mid = [j for j in range(b, m) if j not in nz_mid]
+    k = min(len(nz_left), len(zero_mid))
+    sigma = list(range(m))
+    for left_col, mid_col in zip(nz_left[:k], zero_mid[:k]):
+        sigma[left_col], sigma[mid_col] = sigma[mid_col], sigma[left_col]
+    return swapper_matrix(n, m, sigma)
+
+
+def _build_eraser(cur: BitMatrix, b: int, m: int) -> BitMatrix:
+    """Zero the lower middle band by adding right-section columns.
+
+    The trailing submatrix is nonsingular, so for each nonzero lower
+    middle column ``v`` the unique coefficient vector is
+    ``z = delta^-1 v``; adding the right-section columns selected by
+    ``z`` XORs ``delta z = v`` onto the bottom band, zeroing it.
+    """
+    n = cur.num_rows
+    delta = cur[m:n, m:n]
+    delta_inv = linalg.inverse(delta)
+    additions: list[tuple[int, int]] = []
+    for j in range(b, m):
+        v = cur[m:n, 0:m].column(j)
+        if v == 0:
+            continue
+        z = delta_inv.mulvec(v)
+        for t in range(n - m):
+            if (z >> t) & 1:
+                additions.append((m + t, j))
+    return erasure_matrix(n, b, m, additions)
+
+
+def _middle_bottom_zero(cur: BitMatrix, b: int, m: int) -> bool:
+    n = cur.num_rows
+    return cur[m:n, b:m].is_zero
+
+
+# --------------------------------------------------------------------------
+# assembling apply order and merged passes
+# --------------------------------------------------------------------------
+
+def _apply_order(fact: Factorization, check: bool) -> list[Factor]:
+    """Eq. 18 read right to left: ``P^-1, S_1^-1, E_1^-1, ..., F``."""
+    n = fact.original.num_rows
+    b, m = fact.b, fact.m
+    order: list[Factor] = []
+    p = fact.trailer @ fact.reducer
+    p_inv = linalg.inverse(p)
+    if check and not is_mrc_form(p_inv, m):
+        raise AssertionError("P^-1 is not MRC (violates Theorem 18)")
+    order.append(Factor(p_inv, "mrc", "P^-1"))
+    for i, (s, e) in enumerate(fact.swap_erase, start=1):
+        s_inv = linalg.inverse(s)
+        if check and not is_swapper_form(s_inv, m):
+            raise AssertionError("S^-1 is not a swapper")
+        order.append(Factor(s_inv, "mrc", f"S_{i}^-1"))
+        # Erasure matrices are involutions: E^-1 = E.
+        if check and (e @ e) != BitMatrix.identity(n):
+            raise AssertionError("erasure matrix is not an involution")
+        if check and not is_mld_form(e, b, m):
+            raise AssertionError("E^-1 is not MLD")
+        order.append(Factor(e, "mld", f"E_{i}^-1"))
+    if check and not is_mrc_form(fact.final, m):
+        raise AssertionError("F is not MRC")
+    order.append(Factor(fact.final, "mrc", "F"))
+    return order
+
+
+def _merge(fact: Factorization, check: bool) -> list[Factor]:
+    """Group factors into ``g + 1`` one-pass permutations (Thms 17/18).
+
+    ``E_1^-1 (S_1^-1 P^-1)`` is MLD compose MRC = MLD; each later
+    ``E_i^-1 S_i^-1`` likewise; ``F`` stays MRC.  When ``g = 0`` the
+    whole product collapses to the single MRC matrix ``A`` itself.
+    """
+    b, m = fact.b, fact.m
+    order = fact.apply_order
+    if fact.g == 0:
+        # order is [P^-1, F]; product F P^-1 = A is MRC.
+        merged_matrix = order[-1].matrix @ order[0].matrix
+        if check and not is_mrc_form(merged_matrix, m):
+            raise AssertionError("g=0 merge is not MRC")
+        return [Factor(merged_matrix, "mrc", "F P^-1")]
+    merged: list[Factor] = []
+    # First MLD pass: E_1^-1 S_1^-1 P^-1.
+    first = order[2].matrix @ order[1].matrix @ order[0].matrix
+    if check and not is_mld_form(first, b, m):
+        raise AssertionError("merged pass E_1^-1 S_1^-1 P^-1 is not MLD (Thm 17)")
+    merged.append(Factor(first, "mld", "E_1^-1 S_1^-1 P^-1"))
+    # Middle MLD passes: E_i^-1 S_i^-1 for i = 2..g.
+    for i in range(2, fact.g + 1):
+        s_factor = order[2 * i - 1]
+        e_factor = order[2 * i]
+        mat = e_factor.matrix @ s_factor.matrix
+        if check and not is_mld_form(mat, b, m):
+            raise AssertionError(f"merged pass E_{i}^-1 S_{i}^-1 is not MLD (Thm 17)")
+        merged.append(Factor(mat, "mld", f"E_{i}^-1 S_{i}^-1"))
+    # Final MRC pass: F.
+    merged.append(Factor(order[-1].matrix, "mrc", "F"))
+    return merged

@@ -1,0 +1,164 @@
+"""General-permutation baseline: striped external merge sort.
+
+Permuting is sorting by target address.  This baseline is the classic
+PDM merge sort with *striped* layout: every run occupies consecutive
+stripes, every read and write moves one full stripe (``D`` blocks, one
+per disk), so every parallel I/O is maximally parallel and the pass
+count is exact:
+
+    ``1 + ceil(log_K(N/M))`` passes of ``2N/BD`` I/Os each,
+
+with fan-in ``K = M/(BD) - 2`` (each open run holds one stripe buffer,
+plus head-room for the output stripe).  That is the
+``Theta((N/BD) lg(N/B) / lg(M/B))`` sorting shape of the Vitter-Shriver
+general-permutation bound whenever ``BD << M``; their truly optimal
+algorithm needs randomized placement (see DESIGN.md substitution note).
+
+I/O fidelity: the simulator executes exactly the reads and writes a
+buffer-driven K-way merge issues -- a run's next stripe is fetched when
+its buffer empties, the output stripe is flushed when it fills.  The
+schedule is data-dependent, so it is derived from peeked keys up front;
+the data itself still moves through counted, memory-checked I/O, and the
+resident-record peak stays at ``(K+1) * BD`` as in a real merge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.pdm.system import ParallelDiskSystem
+from repro.perms.base import Permutation
+
+__all__ = ["perform_general_sort", "GeneralSortResult"]
+
+
+@dataclass
+class GeneralSortResult:
+    passes: int
+    fan_in: int
+    final_portion: int
+    parallel_ios: int
+
+
+@dataclass
+class _Run:
+    """A sorted run: ``length`` stripes starting at stripe ``start``."""
+
+    start: int
+    length: int
+
+
+def perform_general_sort(
+    system: ParallelDiskSystem,
+    perm: Permutation,
+    source_portion: int = 0,
+    target_portion: int = 1,
+    fan_in: int | None = None,
+) -> GeneralSortResult:
+    """Permute by external merge sort on target addresses.
+
+    Requires ``M >= 4BD`` (two-way merge with buffers).  Ping-pongs
+    between the two portions; the result reports where the output
+    landed.
+    """
+    g = system.geometry
+    if fan_in is None:
+        fan_in = max(2, g.M // (g.B * g.D) - 2)
+    if (fan_in + 2) * g.B * g.D > g.M or fan_in < 2:
+        raise ValidationError(
+            f"fan-in {fan_in} needs (K+2) BD <= M; geometry has M={g.M}, BD={g.B * g.D}"
+        )
+    before = system.stats.parallel_ios
+
+    # ---- pass 0: run formation -------------------------------------------
+    system.stats.begin_pass("sort:runs")
+    runs: list[_Run] = []
+    spm = g.stripes_per_memoryload
+    for ml in range(g.num_memoryloads):
+        values = system.read_memoryload(source_portion, ml)
+        targets = np.asarray(perm.apply_array(values.astype(np.uint64)), dtype=np.int64)
+        system.write_memoryload(target_portion, ml, values[np.argsort(targets)])
+        runs.append(_Run(start=ml * spm, length=spm))
+    system.stats.end_pass()
+    passes = 1
+    src, dst = target_portion, source_portion
+
+    # ---- merge passes ------------------------------------------------------
+    while len(runs) > 1:
+        system.stats.begin_pass(f"sort:merge{passes}")
+        new_runs: list[_Run] = []
+        out_stripe = 0
+        for i in range(0, len(runs), fan_in):
+            group = runs[i : i + fan_in]
+            out_len = sum(r.length for r in group)
+            _merge_group(system, perm, src, group, dst, out_stripe)
+            new_runs.append(_Run(start=out_stripe, length=out_len))
+            out_stripe += out_len
+        system.stats.end_pass()
+        runs = new_runs
+        src, dst = dst, src
+        passes += 1
+
+    return GeneralSortResult(
+        passes=passes,
+        fan_in=fan_in,
+        final_portion=src,
+        parallel_ios=system.stats.parallel_ios - before,
+    )
+
+
+def _merge_group(
+    system: ParallelDiskSystem,
+    perm: Permutation,
+    src: int,
+    group: list[_Run],
+    dst: int,
+    out_start: int,
+) -> None:
+    """Merge sorted runs, issuing the exact buffer-driven I/O schedule.
+
+    Sort keys are the records' target addresses (recomputed from the
+    payloads, which are the original source addresses).  Keys are peeked
+    to derive the schedule; all data moves through counted I/O.
+    """
+    g = system.geometry
+    per = g.records_per_stripe
+
+    run_values = []
+    for run in group:
+        lo = run.start * per
+        hi = (run.start + run.length) * per
+        run_values.append(system.peek(src, lo, hi))
+    all_values = np.concatenate(run_values)
+    all_keys = np.asarray(perm.apply_array(all_values.astype(np.uint64)), dtype=np.int64)
+    run_of = np.repeat(np.arange(len(group)), [v.size for v in run_values])
+
+    merged_order = np.argsort(all_keys, kind="stable")
+    merged_values = all_values[merged_order]
+    merged_runs = run_of[merged_order]
+    total = all_keys.size
+
+    # Event schedule: (position, priority, kind, stripe).  Writes (prio 0)
+    # precede reads (prio 1) at equal positions so the output buffer is
+    # flushed before the next refill -- keeping residency at (K+1) BD.
+    events: list[tuple[int, int, str, int]] = []
+    for r, run in enumerate(group):
+        positions = np.flatnonzero(merged_runs == r)
+        for j in range(run.length):
+            pos = 0 if j == 0 else int(positions[j * per - 1]) + 1
+            events.append((pos, 1, "read", run.start + j))
+    for chunk in range(total // per):
+        events.append(((chunk + 1) * per, 0, "write", out_start + chunk))
+    events.sort(key=lambda e: (e[0], e[1]))
+
+    write_ptr = 0
+    for _pos, _prio, kind, stripe in events:
+        if kind == "read":
+            system.read_stripe(src, stripe)
+        else:
+            chunk = merged_values[write_ptr : write_ptr + per]
+            system.write_stripe(dst, stripe, chunk.reshape(g.D, g.B))
+            write_ptr += per

@@ -1,0 +1,203 @@
+"""The Aggarwal-Vitter potential argument of Section 2, executable.
+
+Definitions (for target permutation ``pi`` and block size ``B``):
+
+* *target group* ``i`` = the records destined for target block ``i``;
+* ``f(x) = x lg x`` (``f(0) = 0``);
+* togetherness of a block: ``G_block(k) = sum_i f(g_block(i, k))`` where
+  ``g_block(i, k)`` counts group-``i`` records in block ``k``;
+* togetherness of memory: ``G_mem = sum_i f(g_mem(i))``;
+* potential ``Phi = G_mem + sum_k G_block(k)``.
+
+Facts the tracker verifies *live* against any algorithm run under the
+simulator's simple-I/O discipline:
+
+* a parallel read increases ``Phi`` by at most ``D * Delta_max`` with
+  ``Delta_max <= B (2/(e ln 2) + lg(M/B))`` (Lemma 6 / Section 7);
+* a write of full target blocks never increases ``Phi``;
+* the final potential is ``N lg B``;
+* the initial potential for a BMMC permutation on the canonical layout
+  is ``N (lg B - rank gamma)`` (eq. 9, via Lemma 10).
+
+Together these re-derive Theorem 3's lower bound numerically:
+``t >= (Phi(t) - Phi(0)) / (D * Delta_max)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core import bounds
+from repro.pdm.system import EMPTY, IOEvent, ParallelDiskSystem
+from repro.perms.base import Permutation
+
+__all__ = ["f", "compute_potential", "PotentialTracker", "PotentialDelta"]
+
+
+def f(x: float) -> float:
+    """``x lg x`` with ``f(0) = 0`` -- the togetherness weight."""
+    if x <= 0:
+        return 0.0
+    return x * math.log2(x)
+
+
+def _group_counts(groups: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    uniq, counts = np.unique(groups, return_counts=True)
+    return uniq, counts
+
+
+def compute_potential(
+    system: ParallelDiskSystem,
+    perm: Permutation,
+    portions: tuple[int, ...] | None = None,
+    memory_groups: np.ndarray | None = None,
+) -> float:
+    """Potential of the system's current state from scratch.
+
+    Scans all (or the given) portions block by block plus an optional
+    array of group numbers for records currently in memory.  Used by
+    tests to validate the tracker's incremental bookkeeping.
+    """
+    g = system.geometry
+    if portions is None:
+        portions = tuple(range(system.num_portions))
+    group_of = np.asarray(perm.target_vector(), dtype=np.int64) >> g.b
+    phi = 0.0
+    for portion in portions:
+        values = system.portion_values(portion)
+        for k in range(g.num_blocks):
+            block = values[k * g.B : (k + 1) * g.B]
+            block = block[block != EMPTY]
+            if block.size == 0:
+                continue
+            _, counts = _group_counts(group_of[block])
+            phi += sum(f(int(c)) for c in counts)
+    if memory_groups is not None and memory_groups.size:
+        _, counts = _group_counts(memory_groups)
+        phi += sum(f(int(c)) for c in counts)
+    return phi
+
+
+@dataclass
+class PotentialDelta:
+    """One I/O's effect on the potential."""
+
+    kind: str  # "read" | "write"
+    num_blocks: int
+    delta: float
+
+
+class PotentialTracker:
+    """Incremental potential bookkeeping attached to a simulator.
+
+    Requires the system to run with ``simple_io=True`` (reads consume,
+    writes fill empty blocks) so that exactly one copy of each record
+    exists -- the normal form of Lemma 4 under which the potential
+    argument is stated.
+    """
+
+    def __init__(self, system: ParallelDiskSystem, perm: Permutation) -> None:
+        if not system.simple_io:
+            raise ValueError("potential tracking requires simple_io=True")
+        self.system = system
+        self.perm = perm
+        g = system.geometry
+        self._b = g.b
+        self.group_of = np.asarray(perm.target_vector(), dtype=np.int64) >> g.b
+        # g_mem: per-group record counts currently in memory.
+        self.g_mem = np.zeros(g.num_blocks, dtype=np.int64)
+        self.g_mem_potential = 0.0
+        # per-(portion, block) group-count dictionaries.
+        self.block_counts: dict[tuple[int, int], dict[int, int]] = {}
+        self.block_potential = 0.0
+        self.history: list[PotentialDelta] = []
+        self._rescan()
+        system.add_observer(self._on_event)
+
+    # ------------------------------------------------------------- lifecycle
+    def detach(self) -> None:
+        self.system.remove_observer(self._on_event)
+
+    def _rescan(self) -> None:
+        g = self.system.geometry
+        self.block_counts.clear()
+        self.block_potential = 0.0
+        for portion in range(self.system.num_portions):
+            values = self.system.portion_values(portion)
+            occupied = values != EMPTY
+            if not occupied.any():
+                continue
+            for k in range(g.num_blocks):
+                block = values[k * g.B : (k + 1) * g.B]
+                block = block[block != EMPTY]
+                if block.size == 0:
+                    continue
+                uniq, counts = _group_counts(self.group_of[block])
+                d = {int(u): int(c) for u, c in zip(uniq, counts)}
+                self.block_counts[(portion, k)] = d
+                self.block_potential += sum(f(c) for c in d.values())
+
+    # -------------------------------------------------------------- tracking
+    @property
+    def potential(self) -> float:
+        return self.block_potential + self.g_mem_potential
+
+    def _on_event(self, event: IOEvent) -> None:
+        before = self.potential
+        if event.kind == "read":
+            self._apply_read(event)
+        else:
+            self._apply_write(event)
+        self.history.append(
+            PotentialDelta(event.kind, event.block_ids.size, self.potential - before)
+        )
+
+    def _apply_read(self, event: IOEvent) -> None:
+        for bid, block_values in zip(event.block_ids, event.values):
+            key = (event.portion, int(bid))
+            counts = self.block_counts.pop(key, None)
+            if counts is None:
+                continue  # pragma: no cover - simple IO forbids empty reads
+            self.block_potential -= sum(f(c) for c in counts.values())
+            for group, c in counts.items():
+                old = self.g_mem[group]
+                self.g_mem[group] = old + c
+                self.g_mem_potential += f(old + c) - f(old)
+
+    def _apply_write(self, event: IOEvent) -> None:
+        for bid, block_values in zip(event.block_ids, event.values):
+            groups = self.group_of[block_values]
+            uniq, counts = _group_counts(groups)
+            d = {int(u): int(c) for u, c in zip(uniq, counts)}
+            key = (event.portion, int(bid))
+            self.block_counts[key] = d
+            self.block_potential += sum(f(c) for c in d.values())
+            for group, c in d.items():
+                old = self.g_mem[group]
+                self.g_mem[group] = old - c
+                self.g_mem_potential += f(old - c) - f(old)
+
+    # ------------------------------------------------------------ assertions
+    def max_read_delta(self) -> float:
+        return max((h.delta for h in self.history if h.kind == "read"), default=0.0)
+
+    def max_write_delta(self) -> float:
+        return max((h.delta for h in self.history if h.kind == "write"), default=0.0)
+
+    def verify_bounds(self, tolerance: float = 1e-9) -> None:
+        """Assert the Section 7 per-I/O potential bounds over the history."""
+        g = self.system.geometry
+        cap = g.D * bounds.delta_max(g)
+        worst_read = self.max_read_delta()
+        if worst_read > cap + tolerance:
+            raise AssertionError(
+                f"a read increased the potential by {worst_read}, above D*Delta_max={cap}"
+            )
+        worst_write = self.max_write_delta()
+        if worst_write > tolerance:
+            raise AssertionError(
+                f"a write increased the potential by {worst_write}; writes must not"
+            )

@@ -1,0 +1,70 @@
+"""Exception hierarchy for the BMMC reproduction library.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch library failures without masking programming errors
+such as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ValidationError",
+    "DimensionError",
+    "SingularMatrixError",
+    "NotInClassError",
+    "DiskConflictError",
+    "MemoryCapacityError",
+    "BlockStateError",
+    "DetectionError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An argument failed validation (bad shape, range, or structure)."""
+
+
+class DimensionError(ValidationError):
+    """Operands have incompatible dimensions."""
+
+
+class SingularMatrixError(ReproError, ValueError):
+    """A matrix required to be nonsingular over GF(2) is singular."""
+
+
+class NotInClassError(ReproError, ValueError):
+    """A permutation does not belong to the class an algorithm requires.
+
+    Raised, for example, when the one-pass MLD performer is handed a
+    characteristic matrix that violates the kernel condition (eq. 4 of
+    the paper).
+    """
+
+
+class DiskConflictError(ReproError, ValueError):
+    """A single parallel I/O requested two blocks on the same disk.
+
+    The Vitter-Shriver model transfers *at most one block per disk* in a
+    parallel I/O operation; violating that is an algorithm bug, not a
+    recoverable condition.
+    """
+
+
+class MemoryCapacityError(ReproError, RuntimeError):
+    """An I/O operation would exceed the M-record memory capacity."""
+
+
+class BlockStateError(ReproError, RuntimeError):
+    """A block was read while empty or written while occupied.
+
+    The simulator's *simple I/O* discipline (Lemma 4 of the paper)
+    requires reads to consume blocks and writes to fill empty ones.
+    """
+
+
+class DetectionError(ReproError, RuntimeError):
+    """Run-time BMMC detection was asked something it cannot answer."""

@@ -1,0 +1,261 @@
+"""Programmatic experiment drivers: quick paper-vs-measured sweeps.
+
+These are lighter-weight versions of the benchmark suite's sweeps,
+designed for interactive use (the ``repro experiment`` CLI subcommand)
+and for composing custom studies.  Each driver returns an
+:class:`ExperimentTable` -- headers, rows, and a title -- and asserts
+the paper's claim on the measured values before returning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.bits import linalg
+from repro.bits.random import (
+    random_bmmc_with_rank_gamma,
+    random_mld_matrix,
+    random_nonsingular,
+)
+from repro.core import bounds
+from repro.core.bmmc_algorithm import perform_bmmc
+from repro.core.detect import detect_bmmc, store_target_vector
+from repro.core.general import perform_general_sort
+from repro.core.mld_algorithm import perform_mld_pass
+from repro.core.potential import PotentialTracker
+from repro.pdm.geometry import DiskGeometry
+from repro.pdm.system import ParallelDiskSystem
+from repro.perms.bmmc import BMMCPermutation
+
+__all__ = [
+    "ExperimentTable",
+    "EXPERIMENTS",
+    "run_experiment",
+    "lower_bound_sweep",
+    "mld_one_pass",
+    "detection_cost",
+    "ablation_merge",
+    "vs_general",
+    "potential_audit",
+]
+
+DEFAULT_GEOMETRY = DiskGeometry(N=2**12, B=2**3, D=2**2, M=2**7)
+
+
+@dataclass
+class ExperimentTable:
+    experiment_id: str
+    title: str
+    headers: list[str]
+    rows: list[list] = field(default_factory=list)
+
+    def render(self) -> str:
+        widths = [
+            max(len(str(h)), *(len(str(r[i])) for r in self.rows)) if self.rows else len(str(h))
+            for i, h in enumerate(self.headers)
+        ]
+        out = [f"{self.experiment_id}: {self.title}", ""]
+        out.append("  ".join(str(h).ljust(w) for h, w in zip(self.headers, widths)))
+        out.append("  ".join("-" * w for w in widths))
+        for row in self.rows:
+            out.append("  ".join(str(v).ljust(w) for v, w in zip(row, widths)))
+        return "\n".join(out)
+
+
+def _fresh(geometry: DiskGeometry) -> ParallelDiskSystem:
+    system = ParallelDiskSystem(geometry)
+    system.fill_identity(0)
+    return system
+
+
+def lower_bound_sweep(geometry: DiskGeometry = DEFAULT_GEOMETRY, seed: int = 0) -> ExperimentTable:
+    """THM3: measured I/Os vs the Theorem 3 expression across rank gamma."""
+    table = ExperimentTable(
+        "THM3",
+        f"Theorem 3 sweep on {geometry.describe()}",
+        ["rank gamma", "measured I/Os", "Thm 3 LB", "Thm 21 UB", "ratio"],
+    )
+    g = geometry
+    for r in range(min(g.b, g.n - g.b) + 1):
+        perm = BMMCPermutation(
+            random_bmmc_with_rank_gamma(g.n, g.b, r, np.random.default_rng(seed + r))
+        )
+        system = _fresh(g)
+        result = perform_bmmc(system, perm)
+        assert system.verify_permutation(perm, np.arange(g.N), result.final_portion)
+        lb = bounds.theorem3_lower_bound(g, r)
+        ub = bounds.theorem21_upper_bound(g, r)
+        assert result.parallel_ios <= ub
+        table.rows.append(
+            [r, result.parallel_ios, f"{lb:.1f}", ub, f"{result.parallel_ios / lb:.2f}"]
+        )
+    return table
+
+
+def mld_one_pass(geometry: DiskGeometry = DEFAULT_GEOMETRY, seed: int = 0) -> ExperimentTable:
+    """THM15: MLD instances complete in exactly 2N/BD parallel I/Os."""
+    g = geometry
+    table = ExperimentTable(
+        "THM15",
+        f"MLD one-pass on {g.describe()} (2N/BD = {g.one_pass_ios})",
+        ["gamma rank", "I/Os", "striped reads", "independent writes"],
+    )
+    for gr in range(min(g.m - g.b, g.n - g.m) + 1):
+        perm = BMMCPermutation(
+            random_mld_matrix(g.n, g.b, g.m, np.random.default_rng(seed + gr), gamma_rank=gr)
+        )
+        system = _fresh(g)
+        perform_mld_pass(system, perm, 0, 1)
+        assert system.verify_permutation(perm, np.arange(g.N), 1)
+        stats = system.stats
+        assert stats.parallel_ios == g.one_pass_ios
+        table.rows.append(
+            [gr, stats.parallel_ios, stats.striped_reads, stats.independent_writes]
+        )
+    return table
+
+
+def detection_cost(geometry: DiskGeometry = DEFAULT_GEOMETRY, seed: int = 0) -> ExperimentTable:
+    """SEC6: detection reads on BMMC and non-BMMC inputs."""
+    g = geometry
+    rng = np.random.default_rng(seed)
+    table = ExperimentTable(
+        "SEC6",
+        f"Detection cost on {g.describe()} (bound {bounds.detection_read_bound(g)})",
+        ["input", "is BMMC", "formation", "verification", "total"],
+    )
+    cases = {
+        "random BMMC": BMMCPermutation(
+            random_nonsingular(g.n, rng), int(rng.integers(0, g.N))
+        ).target_vector(),
+        "random vector": rng.permutation(g.N),
+    }
+    for name, targets in cases.items():
+        system = ParallelDiskSystem(g, simple_io=False)
+        store_target_vector(system, targets)
+        result = detect_bmmc(system)
+        if name == "random BMMC":
+            assert result.is_bmmc
+            assert result.total_reads == bounds.detection_read_bound(g)
+        table.rows.append(
+            [
+                name,
+                result.is_bmmc,
+                result.formation_reads,
+                result.verification_reads,
+                result.total_reads,
+            ]
+        )
+    return table
+
+
+def ablation_merge(geometry: DiskGeometry = DEFAULT_GEOMETRY, seed: int = 0) -> ExperimentTable:
+    """ABL-MERGE: disabling Theorem 17/18 factor merging doubles the cost."""
+    g = geometry
+    table = ExperimentTable(
+        "ABL-MERGE",
+        f"Factor-merging ablation on {g.describe()}",
+        ["rank gamma", "merged I/Os", "unmerged I/Os", "overhead"],
+    )
+    for r in range(min(g.b, g.n - g.b) + 1):
+        perm = BMMCPermutation(
+            random_bmmc_with_rank_gamma(g.n, g.b, r, np.random.default_rng(seed + r))
+        )
+        s1 = _fresh(g)
+        merged = perform_bmmc(s1, perm, merge_factors=True)
+        s2 = _fresh(g)
+        unmerged = perform_bmmc(s2, perm, merge_factors=False)
+        if merged.passes > 1:
+            assert unmerged.parallel_ios == 2 * merged.parallel_ios
+        table.rows.append(
+            [
+                r,
+                merged.parallel_ios,
+                unmerged.parallel_ios,
+                f"{unmerged.parallel_ios / merged.parallel_ios:.2f}x",
+            ]
+        )
+    return table
+
+
+def vs_general(geometry: DiskGeometry = DEFAULT_GEOMETRY, seed: int = 0) -> ExperimentTable:
+    """CMP-GEN: the BMMC algorithm vs the merge-sort baseline."""
+    g = geometry
+    table = ExperimentTable(
+        "CMP-GEN",
+        f"BMMC vs general merge sort on {g.describe()}",
+        ["rank gamma", "BMMC I/Os", "sort I/Os", "savings"],
+    )
+    for r in range(min(g.b, g.n - g.b) + 1):
+        perm = BMMCPermutation(
+            random_bmmc_with_rank_gamma(g.n, g.b, r, np.random.default_rng(seed + r))
+        )
+        s1 = _fresh(g)
+        fast = perform_bmmc(s1, perm)
+        s2 = _fresh(g)
+        slow = perform_general_sort(s2, perm)
+        assert fast.parallel_ios <= slow.parallel_ios
+        table.rows.append(
+            [
+                r,
+                fast.parallel_ios,
+                slow.parallel_ios,
+                f"{slow.parallel_ios / fast.parallel_ios:.2f}x",
+            ]
+        )
+    return table
+
+
+def potential_audit(geometry: DiskGeometry = DEFAULT_GEOMETRY, seed: int = 0) -> ExperimentTable:
+    """SEC7: eq. 9 initial potentials and per-I/O delta caps, audited."""
+    g = geometry
+    table = ExperimentTable(
+        "SEC7",
+        f"Potential audit on {g.describe()}",
+        ["rank gamma", "Phi(0)", "eq. 9", "max read dPhi", "cap", "final Phi"],
+    )
+    cap = g.D * bounds.delta_max(g)
+    for r in range(min(g.b, g.n - g.b) + 1):
+        perm = BMMCPermutation(
+            random_bmmc_with_rank_gamma(g.n, g.b, r, np.random.default_rng(seed + r))
+        )
+        system = _fresh(g)
+        tracker = PotentialTracker(system, perm)
+        phi0 = tracker.potential
+        perform_bmmc(system, perm)
+        tracker.verify_bounds()
+        assert abs(phi0 - g.N * (g.b - r)) < 1e-6
+        assert abs(tracker.potential - g.N * g.b) < 1e-6
+        table.rows.append(
+            [
+                r,
+                f"{phi0:.0f}",
+                g.N * (g.b - r),
+                f"{tracker.max_read_delta():.1f}",
+                f"{cap:.1f}",
+                f"{tracker.potential:.0f}",
+            ]
+        )
+    return table
+
+
+EXPERIMENTS = {
+    "THM3": lower_bound_sweep,
+    "THM15": mld_one_pass,
+    "SEC6": detection_cost,
+    "ABL-MERGE": ablation_merge,
+    "CMP-GEN": vs_general,
+    "SEC7": potential_audit,
+}
+
+
+def run_experiment(
+    experiment_id: str,
+    geometry: DiskGeometry | None = None,
+    seed: int = 0,
+) -> ExperimentTable:
+    """Run one named experiment; raises ``KeyError`` for unknown ids."""
+    driver = EXPERIMENTS[experiment_id.upper()]
+    return driver(geometry or DEFAULT_GEOMETRY, seed)

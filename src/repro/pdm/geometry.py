@@ -1,0 +1,185 @@
+"""``DiskGeometry``: the (N, B, D, M) parameter tuple and address algebra.
+
+All four parameters are powers of two with ``BD <= M < N`` (Section 1).
+The class precomputes the paper's lowercase logarithms
+
+    ``b = lg B``, ``d = lg D``, ``m = lg M``, ``n = lg N``,
+    ``s = n - (b + d)``
+
+and exposes the Figure 2 address-field decomposition, scalar or
+vectorized: an address ``x`` splits, least significant bits first, into
+*offset* (``b`` bits), *disk* (``d`` bits) and *stripe* (``s`` bits);
+bits ``m..n-1`` form the *memoryload number* and bits ``b..m-1`` the
+*relative block number*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+__all__ = ["DiskGeometry", "is_power_of_two"]
+
+
+def is_power_of_two(x: int) -> bool:
+    return x >= 1 and (x & (x - 1)) == 0
+
+
+@dataclass(frozen=True)
+class DiskGeometry:
+    """Validated PDM parameters plus derived quantities.
+
+    Parameters
+    ----------
+    N : total number of records
+    B : records per block
+    D : number of disks
+    M : records of random-access memory
+    """
+
+    N: int
+    B: int
+    D: int
+    M: int
+
+    # Derived, filled in __post_init__ (kept as fields so repr shows them).
+    n: int = field(init=False)
+    b: int = field(init=False)
+    d: int = field(init=False)
+    m: int = field(init=False)
+    s: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        for name in ("N", "B", "D", "M"):
+            value = getattr(self, name)
+            if not isinstance(value, (int, np.integer)) or not is_power_of_two(int(value)):
+                raise ValidationError(f"{name} must be a power of two, got {value!r}")
+        if self.B * self.D > self.M:
+            raise ValidationError(
+                f"need BD <= M so one parallel I/O fits in memory; got "
+                f"B*D={self.B * self.D} > M={self.M}"
+            )
+        if self.M >= self.N:
+            raise ValidationError(
+                f"need M < N (otherwise permute in memory); got M={self.M}, N={self.N}"
+            )
+        if self.M < 2 * self.B:
+            raise ValidationError(
+                "need M >= 2B: the paper's bounds all divide by lg(M/B), which "
+                f"must be positive; got M={self.M}, B={self.B}"
+            )
+        object.__setattr__(self, "n", self.N.bit_length() - 1)
+        object.__setattr__(self, "b", self.B.bit_length() - 1)
+        object.__setattr__(self, "d", self.D.bit_length() - 1)
+        object.__setattr__(self, "m", self.M.bit_length() - 1)
+        object.__setattr__(self, "s", self.n - self.b - self.d)
+
+    # ------------------------------------------------------------- capacities
+    @property
+    def num_blocks(self) -> int:
+        """Total blocks across the system: ``N / B``."""
+        return self.N // self.B
+
+    @property
+    def num_stripes(self) -> int:
+        """Stripes per portion: ``N / BD``."""
+        return self.N // (self.B * self.D)
+
+    @property
+    def records_per_stripe(self) -> int:
+        return self.B * self.D
+
+    @property
+    def num_memoryloads(self) -> int:
+        """``N / M`` memoryloads of ``M`` records each."""
+        return self.N // self.M
+
+    @property
+    def blocks_per_memoryload(self) -> int:
+        """``M / B`` -- also the number of relative block numbers."""
+        return self.M // self.B
+
+    @property
+    def stripes_per_memoryload(self) -> int:
+        """``M / BD`` consecutive stripes per memoryload."""
+        return self.M // (self.B * self.D)
+
+    @property
+    def memory_blocks(self) -> int:
+        return self.M // self.B
+
+    @property
+    def one_pass_ios(self) -> int:
+        """A pass reads and writes every record once: ``2 N / BD`` I/Os."""
+        return 2 * self.num_stripes
+
+    # --------------------------------------------------------- address fields
+    def offset(self, x):
+        """Bits ``0..b-1``: position of a record within its block."""
+        return x & (self.B - 1)
+
+    def disk(self, x):
+        """Bits ``b..b+d-1``: the disk a record resides on."""
+        return (x >> self.b) & (self.D - 1)
+
+    def stripe(self, x):
+        """Bits ``b+d..n-1``: the stripe a record resides in."""
+        return x >> (self.b + self.d)
+
+    def memoryload(self, x):
+        """Bits ``m..n-1``: the memoryload number."""
+        return x >> self.m
+
+    def relative_block(self, x):
+        """Bits ``b..m-1``: block number within the memoryload."""
+        return (x >> self.b) & (self.blocks_per_memoryload - 1)
+
+    def address(self, stripe, disk, offset):
+        """Inverse of the field decomposition."""
+        return (stripe << (self.b + self.d)) | (disk << self.b) | offset
+
+    # ---------------------------------------------------------- block algebra
+    def block_of(self, x):
+        """Global block number of an address: ``x >> b``."""
+        return x >> self.b
+
+    def block_disk(self, k):
+        """Disk holding block ``k``: low ``d`` bits of the block number."""
+        return k & (self.D - 1)
+
+    def block_stripe(self, k):
+        """Stripe holding block ``k``."""
+        return k >> self.d
+
+    def block_start(self, k):
+        """First address of block ``k``."""
+        return k << self.b
+
+    def stripe_blocks(self, stripe: int) -> np.ndarray:
+        """The ``D`` block numbers of a stripe, in disk order."""
+        return (stripe << self.d) + np.arange(self.D, dtype=np.int64)
+
+    def memoryload_addresses(self, ml: int) -> np.ndarray:
+        """All ``M`` addresses of memoryload ``ml``, ascending."""
+        base = ml * self.M
+        return base + np.arange(self.M, dtype=np.int64)
+
+    def memoryload_stripes(self, ml: int) -> range:
+        """The ``M/BD`` consecutive stripes of memoryload ``ml``."""
+        per = self.stripes_per_memoryload
+        return range(ml * per, (ml + 1) * per)
+
+    # --------------------------------------------------------------- sections
+    @property
+    def sections(self) -> tuple[int, int, int]:
+        """Column-section widths ``(b, m-b, n-m)`` used in Sections 4-5."""
+        return (self.b, self.m - self.b, self.n - self.m)
+
+    def describe(self) -> str:
+        return (
+            f"DiskGeometry(N=2^{self.n}, B=2^{self.b}, D=2^{self.d}, M=2^{self.m}; "
+            f"s={self.s}, stripes={self.num_stripes}, memoryloads={self.num_memoryloads})"
+        )

@@ -1,0 +1,90 @@
+"""Renderings of the paper's model figures.
+
+:func:`render_figure1` reproduces Figure 1 (the stripe-by-disk layout
+table; with ``N=64, B=2, D=8`` it matches the paper cell for cell), and
+:func:`render_figure2` reproduces Figure 2 (the address bit-field
+diagram for a given geometry).  These back the FIG1/FIG2 rows of the
+experiment index.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.pdm.geometry import DiskGeometry
+
+__all__ = ["render_figure1", "render_figure2", "render_portion", "figure1_table"]
+
+
+def figure1_table(geometry: DiskGeometry) -> np.ndarray:
+    """Record indices by (stripe, disk, offset): shape ``(S, D, B)``.
+
+    Entry ``[s, j, o]`` is the address stored at offset ``o`` of the
+    block on disk ``j`` in stripe ``s`` -- "record indices vary most
+    rapidly within a block, then among disks, and finally among
+    stripes".
+    """
+    g = geometry
+    return np.arange(g.N, dtype=np.int64).reshape(g.num_stripes, g.D, g.B)
+
+
+def render_figure1(geometry: DiskGeometry, max_stripes: int | None = None) -> str:
+    """ASCII reproduction of Figure 1 for any geometry."""
+    g = geometry
+    table = figure1_table(g)
+    stripes = g.num_stripes if max_stripes is None else min(max_stripes, g.num_stripes)
+    width = len(str(g.N - 1))
+    cell_w = (width + 1) * g.B + 1
+    header = " " * 10 + "".join(f"D{j}".center(cell_w) for j in range(g.D))
+    lines = [header]
+    for s in range(stripes):
+        cells = []
+        for j in range(g.D):
+            cells.append(" ".join(str(v).rjust(width) for v in table[s, j]).center(cell_w))
+        lines.append(f"stripe {s:>2} " + "".join(cells))
+    if stripes < g.num_stripes:
+        lines.append(f"... ({g.num_stripes - stripes} more stripes)")
+    return "\n".join(lines)
+
+
+def render_figure2(geometry: DiskGeometry) -> str:
+    """ASCII reproduction of Figure 2: the fields of an n-bit address."""
+    g = geometry
+    rows = []
+    for k in range(g.n):
+        fields = []
+        if k < g.b:
+            fields.append("offset")
+        elif k < g.b + g.d:
+            fields.append("disk")
+        else:
+            fields.append("stripe")
+        if k >= g.m:
+            fields.append("memoryload number")
+        elif k >= g.b:
+            fields.append("relative block number")
+        rows.append(f"  x{k:<3} {' + '.join(fields)}")
+    head = (
+        f"address bits x0..x{g.n - 1}  (n={g.n}, b={g.b}, d={g.d}, m={g.m}, s={g.s})\n"
+        f"  least significant bit first"
+    )
+    return head + "\n" + "\n".join(rows)
+
+
+def render_portion(system, portion: int, max_stripes: int = 8) -> str:
+    """Render current payloads of a portion in Figure 1 layout."""
+    g = system.geometry
+    data = system.portion_values(portion).reshape(g.num_stripes, g.D, g.B)
+    stripes = min(max_stripes, g.num_stripes)
+    width = max(2, len(str(g.N - 1)))
+    lines = []
+    for s in range(stripes):
+        cells = []
+        for j in range(g.D):
+            cells.append(
+                " ".join(("." * width if v < 0 else str(v).rjust(width)) for v in data[s, j])
+            )
+        lines.append(f"stripe {s:>2} | " + " | ".join(cells))
+    if stripes < g.num_stripes:
+        lines.append(f"... ({g.num_stripes - stripes} more stripes)")
+    return "\n".join(lines)

@@ -1,0 +1,60 @@
+"""Record-count memory accounting for the PDM's M-record RAM.
+
+The model does not care *which* records are in memory, only that no
+more than ``M`` are resident at once (``BD <= M`` guarantees one
+parallel I/O always fits).  Algorithms acquire residency through
+``ParallelDiskSystem.read_*`` and release it through ``write_*`` or an
+explicit :meth:`Memory.release` when records are discarded (as the
+run-time detector does after extracting matrix columns).
+"""
+
+from __future__ import annotations
+
+from repro.errors import MemoryCapacityError, ValidationError
+
+__all__ = ["Memory"]
+
+
+class Memory:
+    """Capacity-checked counter of resident records."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValidationError(f"memory capacity must be positive, got {capacity}")
+        self.capacity = int(capacity)
+        self.in_use = 0
+        self.peak = 0
+
+    @property
+    def available(self) -> int:
+        return self.capacity - self.in_use
+
+    def allocate(self, records: int) -> None:
+        if records < 0:
+            raise ValidationError(f"cannot allocate {records} records")
+        if self.in_use + records > self.capacity:
+            raise MemoryCapacityError(
+                f"allocating {records} records would hold "
+                f"{self.in_use + records} > M={self.capacity} in memory"
+            )
+        self.in_use += records
+        if self.in_use > self.peak:
+            self.peak = self.in_use
+
+    def release(self, records: int) -> None:
+        if records < 0:
+            raise ValidationError(f"cannot release {records} records")
+        if records > self.in_use:
+            raise MemoryCapacityError(
+                f"releasing {records} records but only {self.in_use} are resident"
+            )
+        self.in_use -= records
+
+    def require_empty(self) -> None:
+        if self.in_use:
+            raise MemoryCapacityError(
+                f"{self.in_use} records still resident; expected empty memory"
+            )
+
+    def __repr__(self) -> str:
+        return f"Memory(in_use={self.in_use}, capacity={self.capacity}, peak={self.peak})"

@@ -1,0 +1,158 @@
+"""I/O accounting: every parallel operation, classified and attributable.
+
+The paper measures algorithms purely by their number of parallel I/Os
+and distinguishes *striped* operations (the blocks accessed live at the
+same location on each disk) from *independent* ones.  ``IOStats``
+counts both, plus blocks and records moved, and supports *passes*: a
+pass is the unit of the paper's upper bounds ("a pass consists of
+reading and writing each record exactly once and therefore uses exactly
+``2N/BD`` parallel I/Os", Table 1 caption).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["IOStats", "PassStats", "StatsSnapshot"]
+
+
+@dataclass
+class PassStats:
+    """Per-pass I/O counters, labelled by the algorithm."""
+
+    label: str
+    parallel_reads: int = 0
+    parallel_writes: int = 0
+    striped_reads: int = 0
+    striped_writes: int = 0
+    independent_reads: int = 0
+    independent_writes: int = 0
+    blocks_read: int = 0
+    blocks_written: int = 0
+
+    @property
+    def parallel_ios(self) -> int:
+        return self.parallel_reads + self.parallel_writes
+
+
+@dataclass(frozen=True)
+class StatsSnapshot:
+    """Immutable counter snapshot; subtract two to measure a phase."""
+
+    parallel_reads: int
+    parallel_writes: int
+    striped_reads: int
+    striped_writes: int
+    independent_reads: int
+    independent_writes: int
+    blocks_read: int
+    blocks_written: int
+
+    @property
+    def parallel_ios(self) -> int:
+        return self.parallel_reads + self.parallel_writes
+
+    def __sub__(self, other: "StatsSnapshot") -> "StatsSnapshot":
+        return StatsSnapshot(
+            self.parallel_reads - other.parallel_reads,
+            self.parallel_writes - other.parallel_writes,
+            self.striped_reads - other.striped_reads,
+            self.striped_writes - other.striped_writes,
+            self.independent_reads - other.independent_reads,
+            self.independent_writes - other.independent_writes,
+            self.blocks_read - other.blocks_read,
+            self.blocks_written - other.blocks_written,
+        )
+
+
+class IOStats:
+    """Mutable I/O counters for one :class:`ParallelDiskSystem`."""
+
+    def __init__(self) -> None:
+        self.parallel_reads = 0
+        self.parallel_writes = 0
+        self.striped_reads = 0
+        self.striped_writes = 0
+        self.independent_reads = 0
+        self.independent_writes = 0
+        self.blocks_read = 0
+        self.blocks_written = 0
+        self.passes: list[PassStats] = []
+        self._current_pass: PassStats | None = None
+
+    # ------------------------------------------------------------- recording
+    def record_read(self, num_blocks: int, striped: bool) -> None:
+        self.parallel_reads += 1
+        self.blocks_read += num_blocks
+        if striped:
+            self.striped_reads += 1
+        else:
+            self.independent_reads += 1
+        if self._current_pass is not None:
+            p = self._current_pass
+            p.parallel_reads += 1
+            p.blocks_read += num_blocks
+            if striped:
+                p.striped_reads += 1
+            else:
+                p.independent_reads += 1
+
+    def record_write(self, num_blocks: int, striped: bool) -> None:
+        self.parallel_writes += 1
+        self.blocks_written += num_blocks
+        if striped:
+            self.striped_writes += 1
+        else:
+            self.independent_writes += 1
+        if self._current_pass is not None:
+            p = self._current_pass
+            p.parallel_writes += 1
+            p.blocks_written += num_blocks
+            if striped:
+                p.striped_writes += 1
+            else:
+                p.independent_writes += 1
+
+    # ---------------------------------------------------------------- passes
+    def begin_pass(self, label: str) -> PassStats:
+        """Open a labelled pass; subsequent I/Os accrue to it."""
+        self._current_pass = PassStats(label)
+        self.passes.append(self._current_pass)
+        return self._current_pass
+
+    def end_pass(self) -> PassStats | None:
+        finished = self._current_pass
+        self._current_pass = None
+        return finished
+
+    # -------------------------------------------------------------- querying
+    @property
+    def parallel_ios(self) -> int:
+        return self.parallel_reads + self.parallel_writes
+
+    def snapshot(self) -> StatsSnapshot:
+        return StatsSnapshot(
+            self.parallel_reads,
+            self.parallel_writes,
+            self.striped_reads,
+            self.striped_writes,
+            self.independent_reads,
+            self.independent_writes,
+            self.blocks_read,
+            self.blocks_written,
+        )
+
+    def summary(self) -> str:
+        lines = [
+            f"parallel I/Os: {self.parallel_ios} "
+            f"({self.parallel_reads} reads, {self.parallel_writes} writes)",
+            f"  striped: {self.striped_reads} reads, {self.striped_writes} writes",
+            f"  independent: {self.independent_reads} reads, {self.independent_writes} writes",
+            f"  blocks moved: {self.blocks_read} read, {self.blocks_written} written",
+        ]
+        for p in self.passes:
+            lines.append(
+                f"  pass {p.label!r}: {p.parallel_ios} I/Os "
+                f"({p.parallel_reads}R/{p.parallel_writes}W)"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,43 @@
+"""Permutation classes of the paper: BMMC and its subclasses.
+
+The hierarchy (Table 1 plus the new MLD class of Section 3):
+
+* **BMMC** -- ``y = A x (+) c`` with ``A`` nonsingular over GF(2);
+* **BPC** -- ``A`` is a permutation matrix (bit-permute/complement);
+* **MRC** -- lower-left ``(n-m) x m`` block of ``A`` is zero, leading and
+  trailing diagonal blocks nonsingular; one pass, striped both ways;
+* **MLD** -- the kernel condition ``ker mu <= ker gamma`` holds
+  (eq. 4); one pass, striped reads + independent writes.
+
+Composition follows the paper's convention (Lemma 1 / Corollary 2):
+``compose(Z, Y)`` performs ``Y`` first, and its characteristic matrix is
+the product ``Z Y``.
+"""
+
+from repro.perms.base import ExplicitPermutation, Permutation, identity_permutation
+from repro.perms.bmmc import BMMCPermutation
+from repro.perms.bpc import BPCPermutation, cross_rank, k_cross_rank
+from repro.perms.mrc import is_mrc, memoryload_mapping
+from repro.perms.mld import is_mld, kernel_condition_holds, mld_block_structure
+from repro.perms.classify import PermClass, classify, classify_matrix, fit_bmmc
+from repro.perms import library
+
+__all__ = [
+    "Permutation",
+    "ExplicitPermutation",
+    "identity_permutation",
+    "BMMCPermutation",
+    "BPCPermutation",
+    "cross_rank",
+    "k_cross_rank",
+    "is_mrc",
+    "memoryload_mapping",
+    "is_mld",
+    "kernel_condition_holds",
+    "mld_block_structure",
+    "PermClass",
+    "classify",
+    "classify_matrix",
+    "fit_bmmc",
+    "library",
+]

@@ -1,0 +1,182 @@
+"""Named permutations of practical interest (Section 1 of the paper).
+
+"The class of BPC permutations includes many common permutations such
+as matrix transposition, bit-reversal permutations (used in performing
+FFTs), vector-reversal permutations, hypercube permutations, and matrix
+reblocking" -- plus the binary-reflected Gray code and its inverse,
+which are MRC (unit upper-triangular characteristic matrices).
+
+All constructors return :class:`BMMCPermutation` subclasses ready to
+run on the simulator or feed to the bound calculators.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bits.matrix import BitMatrix
+from repro.errors import ValidationError
+from repro.perms.bmmc import BMMCPermutation
+from repro.perms.bpc import BPCPermutation
+
+__all__ = [
+    "matrix_transpose",
+    "bit_reversal",
+    "vector_reversal",
+    "hypercube_exchange",
+    "gray_code",
+    "gray_code_inverse",
+    "perfect_shuffle",
+    "field_exchange",
+    "complement_permutation",
+    "permuted_gray_code",
+    "z_order",
+    "z_order_inverse",
+    "matrix_reblocking",
+]
+
+
+def matrix_transpose(lg_rows: int, lg_cols: int) -> BPCPermutation:
+    """Transpose an ``R x S`` matrix (``R = 2^lg_rows``, ``S = 2^lg_cols``).
+
+    Records are stored column-major: element ``(i, j)`` at address
+    ``i + R*j``; the transpose sends it to ``j + S*i``.  On address bits
+    this is a left-rotation by ``lg_cols``: the ``lg_rows`` low bits
+    (``i``) move to the top, the ``lg_cols`` high bits (``j``) drop to
+    the bottom.
+    """
+    n = lg_rows + lg_cols
+    target_of = [(k + lg_cols) % n if k < lg_rows else k - lg_rows for k in range(n)]
+    return BPCPermutation(target_of)
+
+
+def bit_reversal(n: int) -> BPCPermutation:
+    """Bit-reversal: address bit ``k`` maps to bit ``n-1-k`` (FFT staging)."""
+    return BPCPermutation([n - 1 - k for k in range(n)])
+
+
+def vector_reversal(n: int) -> BMMCPermutation:
+    """``x -> N-1-x``: identity matrix with an all-ones complement vector."""
+    return BMMCPermutation(BitMatrix.identity(n), (1 << n) - 1, validate=False)
+
+
+def hypercube_exchange(n: int, dimension_mask: int) -> BMMCPermutation:
+    """Exchange across the hypercube dimensions set in ``dimension_mask``."""
+    if dimension_mask >> n:
+        raise ValidationError(f"dimension mask must fit in {n} bits")
+    return BMMCPermutation(BitMatrix.identity(n), dimension_mask, validate=False)
+
+
+def gray_code(n: int) -> BMMCPermutation:
+    """The standard binary-reflected Gray code ``y = x (+) (x >> 1)``.
+
+    Its characteristic matrix is unit upper bidiagonal
+    (``y_i = x_i (+) x_{i+1}``), hence unit upper triangular, hence MRC
+    for every memory size -- exactly the paper's Section 1 example.
+    """
+    a = np.eye(n, dtype=np.uint8)
+    for i in range(n - 1):
+        a[i, i + 1] = 1
+    return BMMCPermutation(BitMatrix(a), 0, validate=False)
+
+
+def gray_code_inverse(n: int) -> BMMCPermutation:
+    """Inverse Gray code: ``x_i = y_i (+) y_{i+1} (+) ... (+) y_{n-1}``.
+
+    Characteristic matrix is the full unit upper-triangular matrix of
+    ones -- also MRC.
+    """
+    a = np.triu(np.ones((n, n), dtype=np.uint8))
+    return BMMCPermutation(BitMatrix(a), 0, validate=False)
+
+
+def perfect_shuffle(n: int, amount: int = 1) -> BPCPermutation:
+    """Rotate address bits left by ``amount`` (the perfect shuffle)."""
+    amount %= max(n, 1)
+    return BPCPermutation([(k + amount) % n for k in range(n)])
+
+
+def field_exchange(n: int, low_width: int, high_width: int, offset: int = 0) -> BPCPermutation:
+    """Exchange two adjacent bit fields (matrix-reblocking style).
+
+    Bits ``[offset, offset+low_width)`` and
+    ``[offset+low_width, offset+low_width+high_width)`` swap as whole
+    fields; all other bits stay put.
+    """
+    if offset + low_width + high_width > n:
+        raise ValidationError("fields exceed the address width")
+    target_of = list(range(n))
+    for k in range(low_width):
+        target_of[offset + k] = offset + high_width + k
+    for k in range(high_width):
+        target_of[offset + low_width + k] = offset + k
+    return BPCPermutation(target_of)
+
+
+def complement_permutation(n: int, complement: int) -> BMMCPermutation:
+    """Pure complement: ``y = x (+) c``."""
+    return BMMCPermutation(BitMatrix.identity(n), complement, validate=False)
+
+
+def z_order(n: int) -> BPCPermutation:
+    """Z-order (Morton) interleaving of a 2-D index pair.
+
+    The address holds ``(i, j)`` as low/high halves (``n`` even); the
+    target interleaves their bits: ``i``-bit ``k`` to position ``2k``,
+    ``j``-bit ``k`` to ``2k + 1``.  Converts row-of-halves layout to the
+    cache/disk-friendly Morton curve -- a BPC permutation.
+    """
+    if n % 2:
+        raise ValidationError("z_order needs an even number of address bits")
+    half = n // 2
+    target_of = [0] * n
+    for k in range(half):
+        target_of[k] = 2 * k          # i bits
+        target_of[half + k] = 2 * k + 1  # j bits
+    return BPCPermutation(target_of)
+
+
+def z_order_inverse(n: int) -> BPCPermutation:
+    """De-interleave a Morton-ordered address back to ``(i, j)`` halves."""
+    return z_order(n).inverse()
+
+
+def matrix_reblocking(
+    lg_rows: int, lg_cols: int, lg_tile_rows: int, lg_tile_cols: int
+) -> BPCPermutation:
+    """Convert a column-major ``R x S`` matrix to a tiled layout.
+
+    Source address of element ``(i, j)`` is ``i + R*j``; the target
+    layout stores ``T x U`` tiles (``T = 2^lg_tile_rows``,
+    ``U = 2^lg_tile_cols``) contiguously, column-major within each tile
+    and tile-column-major across tiles.  On address bits this reorders
+    the four fields ``[i_lo | i_hi | j_lo | j_hi]`` to
+    ``[i_lo | j_lo | i_hi | j_hi]`` -- the matrix-reblocking BPC
+    permutation Section 1 lists among the common special cases.
+    """
+    if not (0 <= lg_tile_rows <= lg_rows and 0 <= lg_tile_cols <= lg_cols):
+        raise ValidationError("tile must divide the matrix dimensions")
+    n = lg_rows + lg_cols
+    t, u = lg_tile_rows, lg_tile_cols
+    target_of = list(range(n))
+    # i_lo: bits [0, t) stay put.
+    # i_hi: bits [t, lg_rows) move up past j_lo.
+    for k in range(t, lg_rows):
+        target_of[k] = k + u
+    # j_lo: bits [lg_rows, lg_rows + u) drop down next to i_lo.
+    for k in range(lg_rows, lg_rows + u):
+        target_of[k] = t + (k - lg_rows)
+    # j_hi: bits [lg_rows + u, n) stay put.
+    return BPCPermutation(target_of)
+
+
+def permuted_gray_code(n: int, target_of: list[int]) -> BMMCPermutation:
+    """Section 6's detection example: ``Pi G Pi^T`` -- "a standard Gray code
+    with all bits permuted the same".
+
+    BMMC but generally not MRC, which is why run-time detection matters:
+    a programmer would not recognize it as a fast class.
+    """
+    pi = BitMatrix.permutation(target_of)
+    g = gray_code(n).matrix
+    return BMMCPermutation(pi @ g @ pi.T, 0, validate=False)

@@ -1,0 +1,78 @@
+"""MLD (memoryload-dispersal) permutations -- the paper's new subclass.
+
+The characteristic matrix, blocked by rows ``[0,b) / [b,m) / [m,n)`` and
+columns ``[0,m) / [m,n)``:
+
+    ``[[*,     *],
+       [mu,    *],
+       [gamma, *]]``   subject to   ``ker mu <= ker gamma``   (eq. 4).
+
+Consequences proved in Section 3 and checked by the tests here:
+
+* Lemma 12 -- the leading ``m x m`` submatrix is nonsingular;
+* Lemma 13 -- each source memoryload maps onto exactly ``M/B`` relative
+  block numbers, ``B`` records each (full target blocks);
+* Lemma 14 -- records sharing a relative block number share a target
+  memoryload (the kernel condition, operationally);
+* Lemma 16 -- ``rank gamma <= m - b``;
+* Theorem 15 -- one pass suffices (striped reads, independent writes).
+
+The membership test is the two-step procedure of Section 6: compute a
+basis of ``ker mu`` (exactly ``b`` vectors, else not MLD) and check
+``gamma`` kills each basis vector.
+"""
+
+from __future__ import annotations
+
+from repro.bits import linalg
+from repro.bits.colops import is_mld_form
+from repro.bits.matrix import BitMatrix
+from repro.errors import NotInClassError
+from repro.perms.bmmc import BMMCPermutation
+
+__all__ = [
+    "is_mld",
+    "kernel_condition_holds",
+    "mld_block_structure",
+    "require_mld",
+]
+
+
+def mld_block_structure(matrix: BitMatrix, b: int, m: int) -> tuple[BitMatrix, BitMatrix]:
+    """The pair ``(mu, gamma)``: rows ``[b,m)`` and ``[m,n)`` of columns ``[0,m)``."""
+    n = matrix.num_rows
+    return matrix[b:m, 0:m], matrix[m:n, 0:m]
+
+
+def kernel_condition_holds(matrix: BitMatrix, b: int, m: int) -> bool:
+    """Eq. 4 check via Section 6's basis procedure.
+
+    ``dim(ker mu) = b`` exactly (i.e. ``rank mu = m - b``), and every
+    basis vector of ``ker mu`` lies in ``ker gamma``.
+    """
+    mu, gamma = mld_block_structure(matrix, b, m)
+    basis = linalg.kernel_basis(mu)
+    if basis.num_cols != b:
+        return False
+    if gamma.num_rows == 0 or basis.num_cols == 0:
+        return True
+    return (gamma @ basis).is_zero
+
+
+def is_mld(perm_or_matrix, b: int, m: int) -> bool:
+    """Whether a BMMC permutation (or bare matrix) is MLD."""
+    if isinstance(perm_or_matrix, BMMCPermutation):
+        matrix = perm_or_matrix.matrix
+    elif isinstance(perm_or_matrix, BitMatrix):
+        matrix = perm_or_matrix
+    else:
+        raise NotInClassError(f"expected BMMCPermutation or BitMatrix, got {type(perm_or_matrix)}")
+    return is_mld_form(matrix, b, m)
+
+
+def require_mld(perm: BMMCPermutation, b: int, m: int) -> None:
+    if not is_mld(perm, b, m):
+        raise NotInClassError(
+            "permutation is not MLD: the kernel condition ker(mu) <= ker(gamma) "
+            "(eq. 4 of the paper) fails or the matrix is singular"
+        )

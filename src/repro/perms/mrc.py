@@ -1,0 +1,59 @@
+"""MRC (memory-rearrangement/complement) permutations.
+
+The characteristic-matrix form (Table 1):
+
+    ``[[alpha, beta], [0, delta]]`` with ``alpha`` (``m x m``) and
+    ``delta`` (``(n-m) x (n-m)``) nonsingular.
+
+Each memoryload maps wholesale onto one target memoryload (records that
+start together stay together), which is why one pass of striped reads
+and striped writes suffices.  Theorem 18 closure (composition, inverse)
+is exercised by the tests through :class:`BMMCPermutation` composition
+plus this predicate.
+"""
+
+from __future__ import annotations
+
+from repro.bits import linalg
+from repro.bits.colops import is_mrc_form
+from repro.bits.matrix import BitMatrix
+from repro.errors import NotInClassError
+from repro.perms.bmmc import BMMCPermutation
+
+__all__ = ["is_mrc", "memoryload_mapping", "require_mrc"]
+
+
+def is_mrc(perm_or_matrix, m: int) -> bool:
+    """Whether a BMMC permutation (or bare matrix) is MRC for memory ``2^m``."""
+    matrix = _matrix_of(perm_or_matrix)
+    return is_mrc_form(matrix, m)
+
+
+def require_mrc(perm: BMMCPermutation, m: int) -> None:
+    if not is_mrc(perm, m):
+        raise NotInClassError(
+            "permutation is not MRC: the lower-left (n-m) x m block of its "
+            "characteristic matrix must be zero with nonsingular diagonal blocks"
+        )
+
+
+def memoryload_mapping(perm: BMMCPermutation, m: int) -> "BMMCPermutation":
+    """The induced permutation on memoryload numbers.
+
+    For an MRC permutation, target memoryload = ``delta * ml (+) c_hi``
+    where ``delta`` is the trailing block and ``c_hi`` the top ``n-m``
+    complement bits; this is itself a BMMC permutation on ``n-m`` bits.
+    """
+    require_mrc(perm, m)
+    n = perm.n
+    delta = perm.matrix[m:n, m:n]
+    c_hi = perm.complement >> m
+    return BMMCPermutation(delta, c_hi, validate=False)
+
+
+def _matrix_of(perm_or_matrix) -> BitMatrix:
+    if isinstance(perm_or_matrix, BMMCPermutation):
+        return perm_or_matrix.matrix
+    if isinstance(perm_or_matrix, BitMatrix):
+        return perm_or_matrix
+    raise NotInClassError(f"expected BMMCPermutation or BitMatrix, got {type(perm_or_matrix)}")

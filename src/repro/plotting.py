@@ -1,0 +1,98 @@
+"""Terminal plotting for experiment sweeps (no plotting dependencies).
+
+The reproduction runs offline, so figures are rendered as ASCII: a
+multi-series scatter/line chart (:func:`ascii_chart`) and a labelled
+horizontal bar chart (:func:`ascii_bars`).  These back the examples and
+the ``repro experiment --plot`` flag, turning sweep tables like THM3's
+measured-vs-bound columns into the shapes the paper's claims describe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Series", "ascii_chart", "ascii_bars"]
+
+
+@dataclass
+class Series:
+    """One plottable series: points plus a single-character marker."""
+
+    label: str
+    points: list[tuple[float, float]]
+    marker: str = "*"
+
+    def __post_init__(self) -> None:
+        if len(self.marker) != 1:
+            raise ValueError("marker must be a single character")
+        if not self.points:
+            raise ValueError(f"series {self.label!r} has no points")
+
+
+def ascii_chart(
+    series: list[Series],
+    width: int = 60,
+    height: int = 16,
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Render series on a shared-axis character grid.
+
+    Coordinates scale linearly to the grid; collisions show the later
+    series' marker.  A legend maps markers to labels.
+    """
+    if not series:
+        raise ValueError("nothing to plot")
+    xs = [p[0] for s in series for p in s.points]
+    ys = [p[1] for s in series for p in s.points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for s in series:
+        for x, y in s.points:
+            col = int((x - x_lo) / x_span * (width - 1))
+            row = height - 1 - int((y - y_lo) / y_span * (height - 1))
+            grid[row][col] = s.marker
+
+    y_hi_text = f"{y_hi:.6g}"
+    y_lo_text = f"{y_lo:.6g}"
+    margin = max(len(y_hi_text), len(y_lo_text)) + 1
+    lines = []
+    if y_label:
+        lines.append(f"{'':>{margin}}{y_label}")
+    for i, row in enumerate(grid):
+        if i == 0:
+            prefix = y_hi_text.rjust(margin - 1) + "|"
+        elif i == height - 1:
+            prefix = y_lo_text.rjust(margin - 1) + "|"
+        else:
+            prefix = " " * (margin - 1) + "|"
+        lines.append(prefix + "".join(row))
+    lines.append(" " * (margin - 1) + "+" + "-" * width)
+    x_axis = f"{x_lo:.6g}".ljust(width - 8) + f"{x_hi:.6g}".rjust(8)
+    lines.append(" " * margin + x_axis)
+    if x_label:
+        lines.append(" " * margin + x_label.center(width))
+    legend = "   ".join(f"{s.marker} {s.label}" for s in series)
+    lines.append(" " * margin + legend)
+    return "\n".join(lines)
+
+
+def ascii_bars(
+    items: list[tuple[str, float]],
+    width: int = 50,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart with value annotations."""
+    if not items:
+        raise ValueError("nothing to plot")
+    top = max(v for _label, v in items) or 1.0
+    label_w = max(len(label) for label, _v in items)
+    lines = []
+    for label, value in items:
+        bar = "#" * max(1 if value > 0 else 0, int(value / top * width))
+        lines.append(f"{label.rjust(label_w)} | {bar} {value:.6g}{unit}")
+    return "\n".join(lines)

@@ -1,0 +1,183 @@
+"""Unit tests for column-addition matrices and the Section 4 forms."""
+
+import numpy as np
+import pytest
+
+from repro.bits import colops, linalg
+from repro.bits.matrix import BitMatrix
+from repro.errors import ValidationError
+
+
+class TestColumnAdditionMatrix:
+    def test_paper_example(self):
+        """The worked example of Section 4: A Q = A'."""
+        a = BitMatrix.from_rows(
+            [[1, 0, 1, 1], [0, 1, 1, 0], [1, 1, 0, 0], [0, 1, 0, 1]]
+        )
+        q = BitMatrix.from_rows(
+            [[1, 1, 1, 0], [0, 1, 0, 0], [0, 0, 1, 0], [0, 1, 0, 1]]
+        )
+        expected = BitMatrix.from_rows(
+            [[1, 0, 0, 1], [0, 1, 1, 0], [1, 0, 1, 0], [0, 0, 0, 1]]
+        )
+        assert a @ q == expected
+        assert colops.is_column_addition_matrix(q)
+
+    def test_constructor(self):
+        q = colops.column_addition_matrix(4, [(0, 1), (0, 2), (3, 1)])
+        assert q[0, 1] == 1 and q[0, 2] == 1 and q[3, 1] == 1
+        assert colops.is_column_addition_matrix(q)
+
+    def test_semantics_adds_source_into_dest(self):
+        a = BitMatrix.from_rows([[1, 0], [0, 1]])
+        q = colops.column_addition_matrix(2, [(0, 1)])
+        a2 = a @ q
+        assert a2.column(1) == a.column(1) ^ a.column(0)
+        assert a2.column(0) == a.column(0)
+
+    def test_self_addition_rejected(self):
+        with pytest.raises(ValidationError):
+            colops.column_addition_matrix(3, [(1, 1)])
+
+    def test_dependency_restriction_enforced(self):
+        # column 0 added into 1, then 1 into 2 -- forbidden.
+        with pytest.raises(ValidationError):
+            colops.column_addition_matrix(3, [(0, 1), (1, 2)])
+
+    def test_dependency_restriction_detector(self):
+        bad = BitMatrix.from_rows([[1, 1, 0], [0, 1, 1], [0, 0, 1]])
+        assert not colops.is_column_addition_matrix(bad)
+
+    def test_non_unit_diagonal_rejected(self):
+        m = BitMatrix.from_rows([[0, 0], [0, 1]])
+        assert not colops.is_column_addition_matrix(m)
+
+
+class TestLemma19:
+    """Any column-addition matrix factors as L U, hence is nonsingular."""
+
+    def test_paper_example_lu(self):
+        q = BitMatrix.from_rows(
+            [[1, 1, 1, 0], [0, 1, 0, 0], [0, 0, 1, 0], [0, 1, 0, 1]]
+        )
+        l_mat, u_mat = colops.lu_factor_column_addition(q)
+        assert l_mat @ u_mat == q
+        # L unit lower triangular, U unit upper triangular
+        assert (np.triu(l_mat.to_array(), 1) == 0).all()
+        assert (np.tril(u_mat.to_array(), -1) == 0).all()
+        assert (np.diag(l_mat.to_array()) == 1).all()
+        assert (np.diag(u_mat.to_array()) == 1).all()
+
+    def test_nonsingular_consequence(self):
+        rng = np.random.default_rng(0)
+        for _ in range(25):
+            n = int(rng.integers(2, 9))
+            q = _random_column_addition(n, rng)
+            l_mat, u_mat = colops.lu_factor_column_addition(q)
+            assert l_mat @ u_mat == q
+            assert linalg.is_nonsingular(q)
+
+    def test_rejects_non_column_addition(self):
+        with pytest.raises(ValidationError):
+            colops.lu_factor_column_addition(BitMatrix.zeros(3, 3))
+
+
+def _random_column_addition(n: int, rng: np.random.Generator) -> BitMatrix:
+    cols = list(rng.permutation(n))
+    half = max(1, n // 2)
+    sources, dests = cols[:half], cols[half:]
+    additions = []
+    for j in dests:
+        for i in sources:
+            if rng.random() < 0.5:
+                additions.append((i, j))
+    return colops.column_addition_matrix(n, additions)
+
+
+class TestSectionForms:
+    """Trailer / reducer / swapper / erasure structure and classes."""
+
+    N, B_, M_ = 8, 2, 5  # n=8, b=2, m=5
+
+    def test_trailer_form(self):
+        t = colops.trailer_matrix(self.N, self.B_, self.M_, [(0, 6), (3, 7)])
+        assert colops.is_trailer_form(t, self.B_, self.M_)
+        assert colops.is_mrc_form(t, self.M_)
+
+    def test_trailer_placement_enforced(self):
+        with pytest.raises(ValidationError):
+            colops.trailer_matrix(self.N, self.B_, self.M_, [(6, 0)])  # wrong direction
+
+    def test_reducer_form(self):
+        r = colops.reducer_matrix(self.N, self.B_, self.M_, [(0, 3), (1, 4)])
+        assert colops.is_reducer_form(r, self.B_, self.M_)
+        assert colops.is_mrc_form(r, self.M_)
+
+    def test_reducer_placement_enforced(self):
+        with pytest.raises(ValidationError):
+            colops.reducer_matrix(self.N, self.B_, self.M_, [(0, 6)])
+
+    def test_swapper_form(self):
+        s = colops.swapper_matrix(self.N, self.M_, [1, 0, 2, 4, 3])
+        assert colops.is_swapper_form(s, self.M_)
+        assert colops.is_mrc_form(s, self.M_)
+
+    def test_swapper_rejects_bad_permutation(self):
+        with pytest.raises(ValidationError):
+            colops.swapper_matrix(self.N, self.M_, [0, 0, 2, 3, 4])
+
+    def test_swapper_swaps_columns(self):
+        rng = np.random.default_rng(1)
+        from repro.bits.random import random_nonsingular
+
+        a = random_nonsingular(self.N, rng)
+        s = colops.swapper_matrix(self.N, self.M_, [2, 1, 0, 3, 4])
+        a2 = a @ s
+        assert a2.column(0) == a.column(2)
+        assert a2.column(2) == a.column(0)
+        assert a2.column(1) == a.column(1)
+
+    def test_erasure_form(self):
+        e = colops.erasure_matrix(self.N, self.B_, self.M_, [(5, 2), (7, 4)])
+        assert colops.is_erasure_form(e, self.B_, self.M_)
+
+    def test_erasure_is_involution(self):
+        e = colops.erasure_matrix(self.N, self.B_, self.M_, [(5, 2), (6, 3), (7, 4)])
+        assert (e @ e).is_identity
+
+    def test_erasure_is_mld(self):
+        e = colops.erasure_matrix(self.N, self.B_, self.M_, [(5, 2), (7, 4)])
+        assert colops.is_mld_form(e, self.B_, self.M_)
+
+    def test_erasure_placement_enforced(self):
+        with pytest.raises(ValidationError):
+            colops.erasure_matrix(self.N, self.B_, self.M_, [(2, 5)])  # wrong direction
+
+
+class TestClassFormPredicates:
+    def test_mrc_form(self):
+        from repro.bits.random import random_mrc_matrix
+
+        m = random_mrc_matrix(8, 5, np.random.default_rng(2))
+        assert colops.is_mrc_form(m, 5)
+
+    def test_mrc_rejects_nonzero_lower_left(self):
+        m = BitMatrix.identity(6).with_entry(5, 0, 1)
+        assert not colops.is_mrc_form(m, 3)
+
+    def test_mld_form_paper_counterexample(self):
+        """The explicit product in Section 3 with b = m-b = n-m = 1:
+        MRC @ MLD is *not* MLD."""
+        mrc = BitMatrix.from_rows([[0, 1, 0], [1, 0, 0], [0, 0, 1]])
+        mld = BitMatrix.from_rows([[1, 0, 0], [0, 1, 0], [0, 1, 1]])
+        product = BitMatrix.from_rows([[0, 1, 0], [1, 0, 0], [0, 1, 1]])
+        assert mrc @ mld == product
+        b, m = 1, 2
+        assert colops.is_mrc_form(mrc, m)
+        assert colops.is_mld_form(mld, b, m)
+        assert not colops.is_mld_form(product, b, m)
+
+    def test_identity_is_both(self):
+        eye = BitMatrix.identity(6)
+        assert colops.is_mrc_form(eye, 3)
+        assert colops.is_mld_form(eye, 1, 3)

@@ -1,0 +1,233 @@
+"""Unit tests for GF(2) elimination, solving, kernels, ranges, preimages."""
+
+import numpy as np
+import pytest
+
+from repro.bits import linalg
+from repro.bits.matrix import BitMatrix
+from repro.bits.random import random_matrix, random_matrix_with_rank, random_nonsingular
+from repro.errors import SingularMatrixError
+
+
+class TestRank:
+    def test_identity(self):
+        assert linalg.rank(BitMatrix.identity(6)) == 6
+
+    def test_zero(self):
+        assert linalg.rank(BitMatrix.zeros(4, 7)) == 0
+
+    def test_duplicate_rows(self):
+        m = BitMatrix.from_rows([[1, 0, 1], [1, 0, 1], [0, 1, 0]])
+        assert linalg.rank(m) == 2
+
+    def test_gf2_specific_cancellation(self):
+        # Over the reals these rows are independent; over GF(2) row0+row1=row2.
+        m = BitMatrix.from_rows([[1, 1, 0], [0, 1, 1], [1, 0, 1]])
+        assert linalg.rank(m) == 2
+
+    def test_prescribed_rank(self):
+        rng = np.random.default_rng(0)
+        for r in range(5):
+            assert linalg.rank(random_matrix_with_rank(6, 8, r, rng)) == r
+
+    def test_rank_transpose_invariant(self):
+        rng = np.random.default_rng(1)
+        for _ in range(10):
+            m = random_matrix(5, 9, rng)
+            assert linalg.rank(m) == linalg.rank(m.T)
+
+
+class TestInverse:
+    def test_identity(self):
+        assert linalg.inverse(BitMatrix.identity(4)).is_identity
+
+    def test_round_trip(self):
+        rng = np.random.default_rng(2)
+        for n in [1, 2, 5, 12, 20]:
+            a = random_nonsingular(n, rng)
+            ai = linalg.inverse(a)
+            assert (a @ ai).is_identity
+            assert (ai @ a).is_identity
+
+    def test_singular_raises(self):
+        with pytest.raises(SingularMatrixError):
+            linalg.inverse(BitMatrix.zeros(3, 3))
+
+    def test_involution(self):
+        m = BitMatrix.from_rows([[1, 1], [0, 1]])  # its own inverse over GF(2)
+        assert linalg.inverse(m) == m
+
+    def test_non_square_raises(self):
+        from repro.errors import DimensionError
+
+        with pytest.raises(DimensionError):
+            linalg.inverse(BitMatrix.zeros(2, 3))
+
+
+class TestSolve:
+    def test_in_range(self):
+        rng = np.random.default_rng(3)
+        m = random_matrix_with_rank(6, 9, 4, rng)
+        y = m.mulvec(0b101000101)
+        x = linalg.solve(m, y)
+        assert x is not None and m.mulvec(x) == y
+
+    def test_out_of_range(self):
+        m = BitMatrix.from_rows([[1, 0], [1, 0]])  # range = {00, 11}
+        assert linalg.solve(m, 0b01) is None
+        assert linalg.solve(m, 0b11) is not None
+
+    def test_zero_always_solvable(self):
+        rng = np.random.default_rng(4)
+        m = random_matrix(5, 7, rng)
+        assert linalg.solve(m, 0) is not None
+
+    def test_nonsingular_unique(self):
+        rng = np.random.default_rng(5)
+        a = random_nonsingular(8, rng)
+        ai = linalg.inverse(a)
+        for y in [0, 1, 170, 255]:
+            assert linalg.solve(a, y) == ai.mulvec(y)
+
+
+class TestKernel:
+    def test_dimension_theorem(self):
+        rng = np.random.default_rng(6)
+        for _ in range(20):
+            m = random_matrix(rng.integers(1, 7), rng.integers(1, 9), rng)
+            k = linalg.kernel_basis(m)
+            assert k.num_cols == m.num_cols - linalg.rank(m)
+
+    def test_kernel_vectors_map_to_zero(self):
+        rng = np.random.default_rng(7)
+        m = random_matrix_with_rank(5, 8, 3, rng)
+        k = linalg.kernel_basis(m)
+        assert (m @ k).is_zero
+
+    def test_kernel_basis_independent(self):
+        rng = np.random.default_rng(8)
+        m = random_matrix_with_rank(5, 8, 3, rng)
+        k = linalg.kernel_basis(m)
+        assert linalg.rank(k) == k.num_cols
+
+    def test_nonsingular_trivial_kernel(self):
+        a = random_nonsingular(6, np.random.default_rng(9))
+        assert linalg.kernel_basis(a).num_cols == 0
+
+
+class TestRowSpace:
+    def test_row_space_rank(self):
+        rng = np.random.default_rng(10)
+        m = random_matrix_with_rank(6, 8, 4, rng)
+        rs = linalg.row_space_basis(m)
+        assert rs.num_rows == 4
+        assert linalg.rank(rs) == 4
+
+    def test_orthogonal_to_kernel(self):
+        # Lemma 11's underpinning: row space is orthogonal complement of kernel.
+        rng = np.random.default_rng(11)
+        m = random_matrix_with_rank(6, 9, 4, rng)
+        rs = linalg.row_space_basis(m)
+        k = linalg.kernel_basis(m)
+        assert (rs @ k).is_zero
+
+
+class TestIndependentColumns:
+    def test_count_equals_rank(self):
+        rng = np.random.default_rng(12)
+        m = random_matrix_with_rank(6, 10, 4, rng)
+        assert len(linalg.independent_columns(m)) == 4
+
+    def test_selected_columns_independent(self):
+        rng = np.random.default_rng(13)
+        m = random_matrix(7, 11, rng)
+        idx = linalg.independent_columns(m)
+        assert linalg.rank(m[:, idx]) == len(idx)
+
+    def test_respects_order(self):
+        m = BitMatrix.from_rows([[1, 1, 0], [0, 0, 1]])
+        assert linalg.independent_columns(m, order=[1, 0, 2]) == [1, 2]
+        assert linalg.independent_columns(m, order=[0, 1, 2]) == [0, 2]
+
+    def test_zero_matrix(self):
+        assert linalg.independent_columns(BitMatrix.zeros(3, 5)) == []
+
+
+class TestExpressInBasis:
+    def test_roundtrip(self):
+        rng = np.random.default_rng(14)
+        m = random_matrix_with_rank(6, 9, 5, rng)
+        basis = linalg.independent_columns(m)
+        for j in range(m.num_cols):
+            target = m.column(j)
+            srcs = linalg.express_in_column_basis(m, basis, target)
+            assert srcs is not None
+            acc = 0
+            for s in srcs:
+                acc ^= m.column(s)
+            assert acc == target
+
+    def test_out_of_span(self):
+        m = BitMatrix.from_rows([[1, 0], [0, 0]])
+        assert linalg.express_in_column_basis(m, [0], 0b10) is None
+
+
+class TestCompleteColumnBasis:
+    def test_trailer_scenario(self):
+        # Primary columns deficient; candidates fill the gap.
+        m = BitMatrix.from_rows(
+            [[1, 0, 1, 1], [0, 1, 1, 1], [0, 0, 0, 0]]
+        )  # rank 2, columns 2,3 dependent
+        kept, added = linalg.complete_column_basis(m, primary=[2, 3], candidates=[0, 1])
+        assert len(kept) + len(added) == 2
+        assert linalg.rank(m[:, kept + added]) == 2
+
+    def test_full_primary_needs_no_candidates(self):
+        a = random_nonsingular(5, np.random.default_rng(15))
+        kept, added = linalg.complete_column_basis(a, primary=range(5), candidates=[])
+        assert len(kept) == 5 and added == []
+
+
+class TestRangeAndPreimage:
+    def test_lemma7_range_size(self):
+        """Lemma 7: |R(A) xor c| = 2^rank(A)."""
+        rng = np.random.default_rng(16)
+        for r in range(5):
+            m = random_matrix_with_rank(5, 7, r, rng)
+            assert linalg.matrix_range_size(m) == 2**r
+            vals = set(linalg.range_iter(m))
+            assert len(vals) == 2**r
+
+    def test_range_iter_members_in_range(self):
+        rng = np.random.default_rng(17)
+        m = random_matrix_with_rank(5, 7, 3, rng)
+        for y in linalg.range_iter(m):
+            assert linalg.in_range(m, y)
+
+    def test_lemma8_preimage_size(self):
+        """Lemma 8: |Pre(A, y)| = 2^(q - rank) for y in range."""
+        rng = np.random.default_rng(18)
+        m = random_matrix_with_rank(4, 7, 3, rng)
+        y = m.mulvec(0b1010101)
+        assert linalg.preimage_size(m, y) == 2 ** (7 - 3)
+        pre = list(linalg.preimage_iter(m, y))
+        assert len(pre) == 16
+        assert len(set(pre)) == 16
+        assert all(m.mulvec(x) == y for x in pre)
+
+    def test_preimage_empty_outside_range(self):
+        m = BitMatrix.from_rows([[1, 0], [1, 0]])
+        assert linalg.preimage_size(m, 0b01) == 0
+        assert list(linalg.preimage_iter(m, 0b01)) == []
+
+    def test_preimage_partition(self):
+        """Preimages of all range elements partition the domain (Lemma 8's
+        counting argument)."""
+        rng = np.random.default_rng(19)
+        m = random_matrix_with_rank(4, 6, 2, rng)
+        seen = set()
+        for y in linalg.range_iter(m):
+            pre = set(linalg.preimage_iter(m, y))
+            assert not (pre & seen)
+            seen |= pre
+        assert seen == set(range(64))

@@ -1,0 +1,129 @@
+"""Hypothesis property tests for the GF(2) substrate.
+
+These encode the linear-algebra laws the paper's proofs lean on as
+universally-quantified properties over random matrices.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bits import linalg
+from repro.bits.matrix import BitMatrix
+from repro.bits.random import random_matrix, random_nonsingular
+
+from tests.conftest import bit_matrices, nonsingular_matrices
+
+
+@given(nonsingular_matrices(max_n=10))
+@settings(max_examples=60, deadline=None)
+def test_inverse_round_trip(a):
+    ai = linalg.inverse(a)
+    assert (a @ ai).is_identity
+    assert (ai @ a).is_identity
+
+
+@given(nonsingular_matrices(max_n=8), nonsingular_matrices(max_n=8))
+@settings(max_examples=60, deadline=None)
+def test_product_of_nonsingular_is_nonsingular(a, b):
+    if a.num_rows != b.num_rows:
+        return
+    assert linalg.is_nonsingular(a @ b)
+
+
+@given(bit_matrices(8, 8), bit_matrices(8, 8))
+@settings(max_examples=60, deadline=None)
+def test_rank_product_subadditive(a, b):
+    if a.num_cols != b.num_rows:
+        return
+    assert linalg.rank(a @ b) <= min(linalg.rank(a), linalg.rank(b))
+
+
+@given(bit_matrices(8, 10))
+@settings(max_examples=80, deadline=None)
+def test_rank_nullity(a):
+    assert linalg.rank(a) + linalg.kernel_basis(a).num_cols == a.num_cols
+
+
+@given(bit_matrices(8, 10))
+@settings(max_examples=60, deadline=None)
+def test_kernel_maps_to_zero(a):
+    k = linalg.kernel_basis(a)
+    if k.num_cols:
+        assert (a @ k).is_zero
+
+
+@given(bit_matrices(7, 9))
+@settings(max_examples=60, deadline=None)
+def test_row_space_orthogonal_to_kernel(a):
+    """Lemma 11's foundation: row(A) is the orthogonal complement of ker(A)."""
+    rs = linalg.row_space_basis(a)
+    k = linalg.kernel_basis(a)
+    if rs.num_rows and k.num_cols:
+        assert (rs @ k).is_zero
+
+
+@given(bit_matrices(6, 8), st.integers(0, 2**31))
+@settings(max_examples=60, deadline=None)
+def test_lemma7_range_cardinality(a, seed):
+    """|R(A) xor c| = 2^rank(A) for any complement c (Lemma 7)."""
+    c = int(np.random.default_rng(seed).integers(0, 2**a.num_rows))
+    values = {y ^ c for y in linalg.range_iter(a)}
+    assert len(values) == 2 ** linalg.rank(a)
+
+
+@given(bit_matrices(5, 8), st.integers(0, 2**31))
+@settings(max_examples=60, deadline=None)
+def test_lemma8_preimage_cardinality(a, seed):
+    """|Pre(A, y)| = 2^(q-rank) for in-range y (Lemma 8)."""
+    x = int(np.random.default_rng(seed).integers(0, 2**a.num_cols))
+    y = a.mulvec(x)
+    pre = list(linalg.preimage_iter(a, y))
+    assert len(set(pre)) == 2 ** (a.num_cols - linalg.rank(a))
+    assert all(a.mulvec(v) == y for v in pre)
+
+
+@given(nonsingular_matrices(max_n=10))
+@settings(max_examples=40, deadline=None)
+def test_solve_agrees_with_inverse(a):
+    rng = np.random.default_rng(0)
+    ai = linalg.inverse(a)
+    for _ in range(3):
+        y = int(rng.integers(0, 2**a.num_rows))
+        assert linalg.solve(a, y) == ai.mulvec(y)
+
+
+@given(bit_matrices(8, 10))
+@settings(max_examples=60, deadline=None)
+def test_independent_columns_are_maximal(a):
+    idx = linalg.independent_columns(a)
+    assert len(idx) == linalg.rank(a)
+    assert linalg.rank(a[:, idx]) == len(idx)
+
+
+@given(
+    st.integers(2, 8),
+    st.integers(0, 2**31),
+)
+@settings(max_examples=60, deadline=None)
+def test_lemma14_kernel_containment_iff_agreement(n, seed):
+    """Lemma 14: ker K <= ker L iff (Kx = Ky implies Lx = Ly)."""
+    rng = np.random.default_rng(seed)
+    k = random_matrix(n, n, rng)
+    l_mat = random_matrix(n, n, rng)
+    containment = (l_mat @ linalg.kernel_basis(k)).is_zero if linalg.kernel_basis(
+        k
+    ).num_cols else True
+    # brute-force the right-hand side over all pairs with Kx == Ky
+    agree = True
+    images = {}
+    for x in range(2**n):
+        kx = k.mulvec(x)
+        lx = l_mat.mulvec(x)
+        if kx in images:
+            if images[kx] != lx:
+                agree = False
+                break
+        else:
+            images[kx] = lx
+    assert containment == agree

@@ -1,0 +1,120 @@
+"""Unit tests for the seeded instance generators."""
+
+import numpy as np
+import pytest
+
+from repro.bits import colops, linalg
+from repro.bits.random import (
+    random_bit_permutation,
+    random_bmmc_with_rank_gamma,
+    random_matrix,
+    random_matrix_with_rank,
+    random_mld_matrix,
+    random_mrc_matrix,
+    random_nonsingular,
+)
+from repro.errors import ValidationError
+
+
+class TestRandomNonsingular:
+    def test_nonsingular(self):
+        rng = np.random.default_rng(0)
+        for n in [1, 2, 4, 8, 16, 32]:
+            assert linalg.is_nonsingular(random_nonsingular(n, rng))
+
+    def test_deterministic_given_seed(self):
+        a = random_nonsingular(6, 1234)
+        b = random_nonsingular(6, 1234)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        assert random_nonsingular(8, 1) != random_nonsingular(8, 2)
+
+    def test_zero_size(self):
+        assert random_nonsingular(0).shape == (0, 0)
+
+
+class TestRandomMatrixWithRank:
+    def test_exact_rank(self):
+        rng = np.random.default_rng(1)
+        for p, q in [(4, 4), (3, 7), (8, 2)]:
+            for r in range(min(p, q) + 1):
+                assert linalg.rank(random_matrix_with_rank(p, q, r, rng)) == r
+
+    def test_impossible_rank_rejected(self):
+        with pytest.raises(ValidationError):
+            random_matrix_with_rank(3, 4, 5, np.random.default_rng(2))
+
+
+class TestRankGammaGenerator:
+    def test_prescribed_rank_gamma(self):
+        rng = np.random.default_rng(3)
+        n, b = 12, 3
+        for r in range(min(b, n - b) + 1):
+            a = random_bmmc_with_rank_gamma(n, b, r, rng)
+            assert linalg.is_nonsingular(a)
+            assert linalg.rank(a[b:n, 0:b]) == r
+
+    def test_edge_b_zero(self):
+        a = random_bmmc_with_rank_gamma(6, 0, 0, np.random.default_rng(4))
+        assert linalg.is_nonsingular(a)
+
+    def test_impossible_rank_rejected(self):
+        with pytest.raises(ValidationError):
+            random_bmmc_with_rank_gamma(8, 3, 4, np.random.default_rng(5))
+
+    def test_upper_right_nontrivial(self):
+        """The generator should produce dense-looking matrices, not just the
+        block-triangular skeleton."""
+        rng = np.random.default_rng(6)
+        a = random_bmmc_with_rank_gamma(12, 3, 2, rng)
+        assert not a[0:3, 3:12].is_zero  # upper right populated w.h.p.
+
+
+class TestBitPermutation:
+    def test_is_permutation_matrix(self):
+        rng = np.random.default_rng(7)
+        for _ in range(10):
+            assert random_bit_permutation(9, rng).is_permutation_matrix
+
+
+class TestMRCGenerator:
+    def test_form(self):
+        rng = np.random.default_rng(8)
+        for n, m in [(8, 5), (10, 3), (6, 5)]:
+            a = random_mrc_matrix(n, m, rng)
+            assert colops.is_mrc_form(a, m)
+            assert linalg.is_nonsingular(a)
+
+
+class TestMLDGenerator:
+    def test_form(self):
+        rng = np.random.default_rng(9)
+        for n, b, m in [(10, 2, 6), (8, 3, 5), (12, 0, 4), (9, 2, 3)]:
+            a = random_mld_matrix(n, b, m, rng)
+            assert colops.is_mld_form(a, b, m)
+
+    def test_lemma16_rank_bound(self):
+        """rank gamma_m <= m - b for MLD matrices (Lemma 16)."""
+        rng = np.random.default_rng(10)
+        for _ in range(10):
+            a = random_mld_matrix(10, 2, 6, rng)
+            gamma_m = a[6:10, 0:6]
+            assert linalg.rank(gamma_m) <= 6 - 2
+
+    def test_prescribed_gamma_rank(self):
+        rng = np.random.default_rng(11)
+        for gr in range(4):
+            a = random_mld_matrix(12, 2, 6, rng, gamma_rank=gr)
+            assert linalg.rank(a[6:12, 0:6]) == gr
+
+    def test_lemma12_leading_nonsingular(self):
+        """Lemma 12: kernel condition implies leading m x m nonsingular."""
+        rng = np.random.default_rng(12)
+        for _ in range(10):
+            a = random_mld_matrix(10, 2, 6, rng)
+            assert linalg.is_nonsingular(a[0:6, 0:6])
+
+    def test_impossible_gamma_rank_rejected(self):
+        with pytest.raises(ValidationError):
+            random_mld_matrix(10, 2, 6, np.random.default_rng(13), gamma_rank=5)

@@ -1,0 +1,199 @@
+"""Tests for the asymptotically optimal BMMC algorithm (Theorem 21)."""
+
+import numpy as np
+import pytest
+
+from repro.bits.random import (
+    random_bmmc_with_rank_gamma,
+    random_mld_matrix,
+    random_mrc_matrix,
+    random_nonsingular,
+)
+from repro.core import bounds
+from repro.core.bmmc_algorithm import perform_bmmc, plan_bmmc_passes
+from repro.errors import ValidationError
+from repro.pdm.system import ParallelDiskSystem
+from repro.perms.bmmc import BMMCPermutation
+from repro.perms.library import (
+    bit_reversal,
+    gray_code,
+    matrix_transpose,
+    perfect_shuffle,
+    permuted_gray_code,
+    vector_reversal,
+)
+
+
+def run(geometry, perm, **kwargs):
+    s = ParallelDiskSystem(geometry)
+    s.fill_identity(0)
+    res = perform_bmmc(s, perm, **kwargs)
+    ok = s.verify_permutation(perm, np.arange(geometry.N), res.final_portion)
+    return s, res, ok
+
+
+class TestPlanning:
+    def test_mrc_shortcut(self, small_geometry):
+        g = small_geometry
+        perm = BMMCPermutation(random_mrc_matrix(g.n, g.m, np.random.default_rng(0)))
+        plan = plan_bmmc_passes(perm, g)
+        assert len(plan) == 1 and plan[0].kind == "mrc"
+
+    def test_mld_shortcut(self, small_geometry):
+        g = small_geometry
+        perm = BMMCPermutation(
+            random_mld_matrix(g.n, g.b, g.m, np.random.default_rng(1))
+        )
+        plan = plan_bmmc_passes(perm, g)
+        assert len(plan) == 1
+
+    def test_complement_on_final_pass_only(self, small_geometry):
+        g = small_geometry
+        perm = BMMCPermutation(random_nonsingular(g.n, np.random.default_rng(2)), 0b111)
+        plan = plan_bmmc_passes(perm, g)
+        assert all(step.perm.complement == 0 for step in plan[:-1])
+        assert plan[-1].perm.complement == 0b111
+
+    def test_plan_composes_to_input(self, small_geometry):
+        g = small_geometry
+        perm = BMMCPermutation(random_nonsingular(g.n, np.random.default_rng(3)), 0b1010)
+        plan = plan_bmmc_passes(perm, g)
+        composed = plan[0].perm
+        for step in plan[1:]:
+            composed = step.perm.compose(composed)
+        assert composed.matrix == perm.matrix
+        assert composed.complement == perm.complement
+
+    def test_unmerged_plan_doubles_passes(self, small_geometry):
+        g = small_geometry
+        perm = BMMCPermutation(random_nonsingular(g.n, np.random.default_rng(4)))
+        merged = plan_bmmc_passes(perm, g, merge_factors=True)
+        unmerged = plan_bmmc_passes(perm, g, merge_factors=False)
+        if len(merged) > 1:  # factored path
+            g_rounds = len(merged) - 1
+            assert len(unmerged) == 2 * g_rounds + 2
+
+    def test_size_mismatch_rejected(self, small_geometry):
+        with pytest.raises(ValidationError):
+            plan_bmmc_passes(gray_code(small_geometry.n + 1), small_geometry)
+
+
+class TestExecutionCorrectness:
+    def test_random_bmmc(self, any_geometry):
+        g = any_geometry
+        perm = BMMCPermutation(
+            random_nonsingular(g.n, np.random.default_rng(5)), complement=0b11
+        )
+        _, res, ok = run(g, perm)
+        assert ok
+
+    def test_prescribed_rank_gamma_sweep(self, small_geometry):
+        g = small_geometry
+        for r in range(min(g.b, g.n - g.b) + 1):
+            perm = BMMCPermutation(
+                random_bmmc_with_rank_gamma(g.n, g.b, r, np.random.default_rng(6 + r))
+            )
+            _, res, ok = run(g, perm)
+            assert ok, f"rank gamma {r} failed"
+
+    @pytest.mark.parametrize(
+        "named",
+        [
+            lambda n: bit_reversal(n),
+            lambda n: vector_reversal(n),
+            lambda n: gray_code(n),
+            lambda n: perfect_shuffle(n),
+            lambda n: matrix_transpose(n // 2, n - n // 2),
+            lambda n: permuted_gray_code(n, list(range(n - 1, -1, -1))),
+        ],
+        ids=["bit-reversal", "vector-reversal", "gray", "shuffle", "transpose", "perm-gray"],
+    )
+    def test_named_permutations(self, small_geometry, named):
+        g = small_geometry
+        perm = named(g.n)
+        _, res, ok = run(g, perm)
+        assert ok
+
+    def test_identity_permutation(self, small_geometry):
+        g = small_geometry
+        from repro.bits.matrix import BitMatrix
+
+        perm = BMMCPermutation(BitMatrix.identity(g.n))
+        _, res, ok = run(g, perm)
+        assert ok
+        assert res.passes == 1  # identity is MRC; one (wasted) pass
+
+    def test_unmerged_execution_correct(self, small_geometry):
+        g = small_geometry
+        perm = BMMCPermutation(random_nonsingular(g.n, np.random.default_rng(7)), 0b101)
+        _, res, ok = run(g, perm, merge_factors=False)
+        assert ok
+
+
+class TestTheorem21IOBound:
+    def test_io_counts_exact(self, small_geometry):
+        """Measured I/Os = 2N/BD per planned pass, <= Theorem 21's bound."""
+        g = small_geometry
+        for seed in range(8):
+            perm = BMMCPermutation(random_nonsingular(g.n, np.random.default_rng(seed)))
+            s, res, ok = run(g, perm)
+            assert ok
+            assert res.parallel_ios == res.passes * g.one_pass_ios
+            rg = perm.rank_gamma(g.b)
+            assert res.parallel_ios <= bounds.theorem21_upper_bound(g, rg)
+            assert res.parallel_ios == bounds.predicted_ios(perm.matrix, g)
+
+    def test_bound_across_geometries(self, any_geometry):
+        g = any_geometry
+        perm = BMMCPermutation(random_nonsingular(g.n, np.random.default_rng(77)))
+        s, res, ok = run(g, perm)
+        assert ok
+        assert res.parallel_ios <= bounds.theorem21_upper_bound(g, perm.rank_gamma(g.b))
+
+    def test_measured_exceeds_lower_bound_form(self, small_geometry):
+        """Sanity: measured I/Os sit between the Theorem 3 expression and
+        the Theorem 21 ceiling."""
+        g = small_geometry
+        perm = BMMCPermutation(
+            random_bmmc_with_rank_gamma(g.n, g.b, g.b, np.random.default_rng(8))
+        )
+        s, res, ok = run(g, perm)
+        assert ok
+        rg = perm.rank_gamma(g.b)
+        assert res.parallel_ios >= bounds.sharpened_lower_bound(g, rg)
+        assert res.parallel_ios <= bounds.theorem21_upper_bound(g, rg)
+
+    def test_low_rank_beats_general_bound(self, small_geometry):
+        """The headline claim: when rank gamma is low, the BMMC algorithm
+        beats the general-permutation (sorting) bound."""
+        g = small_geometry
+        perm = BMMCPermutation(
+            random_bmmc_with_rank_gamma(g.n, g.b, 0, np.random.default_rng(9))
+        )
+        s, res, ok = run(g, perm)
+        assert ok
+        assert res.parallel_ios < bounds.general_permutation_bound(g)
+
+
+class TestPortionHandling:
+    def test_final_portion_parity(self, small_geometry):
+        g = small_geometry
+        perm = BMMCPermutation(random_nonsingular(g.n, np.random.default_rng(10)))
+        s, res, ok = run(g, perm)
+        expected = 1 if res.passes % 2 == 1 else 0
+        assert res.final_portion == expected
+
+    def test_memory_empty_after_run(self, small_geometry):
+        g = small_geometry
+        perm = BMMCPermutation(random_nonsingular(g.n, np.random.default_rng(11)))
+        s, res, ok = run(g, perm)
+        s.memory.require_empty()
+
+    def test_pass_labels_in_stats(self, small_geometry):
+        g = small_geometry
+        perm = BMMCPermutation(random_nonsingular(g.n, np.random.default_rng(12)))
+        s, res, ok = run(g, perm)
+        labels = [p.label for p in s.stats.passes]
+        assert len(labels) == res.passes
+        if res.passes > 1:
+            assert labels[-1] == "F"

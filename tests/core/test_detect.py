@@ -1,0 +1,231 @@
+"""Tests for Section 6 run-time BMMC detection."""
+
+import numpy as np
+import pytest
+
+from repro.bits.random import (
+    random_bit_permutation,
+    random_mld_matrix,
+    random_nonsingular,
+)
+from repro.core import bounds
+from repro.core.detect import DetectionResult, detect_bmmc, formation_schedule, store_target_vector
+from repro.errors import DetectionError
+from repro.pdm.geometry import DiskGeometry
+from repro.pdm.system import ParallelDiskSystem
+from repro.perms.base import ExplicitPermutation
+from repro.perms.bmmc import BMMCPermutation
+from repro.perms.library import gray_code, permuted_gray_code
+
+
+def detection_system(geometry, perm_or_targets):
+    s = ParallelDiskSystem(geometry, simple_io=False)
+    store_target_vector(s, perm_or_targets)
+    return s
+
+
+@pytest.fixture
+def geometry():
+    return DiskGeometry(N=2**12, B=2**3, D=2**2, M=2**7)
+
+
+class TestFormationSchedule:
+    def test_read_count_formula(self, any_geometry):
+        g = any_geometry
+        schedule = formation_schedule(g)
+        assert len(schedule) == bounds.detection_formation_reads(g)
+
+    def test_one_block_per_disk_per_read(self, any_geometry):
+        g = any_geometry
+        for batch in formation_schedule(g):
+            disks = [g.block_disk(entry[0]) for entry in batch]
+            assert len(set(disks)) == len(disks)
+            assert len(batch) <= g.D
+
+    def test_every_column_resolved_once(self, any_geometry):
+        g = any_geometry
+        resolved = [e[2] for batch in formation_schedule(g) for e in batch]
+        stripe_cols = [c for c in resolved if c >= g.b + g.d]
+        assert sorted(stripe_cols) == list(range(g.b + g.d, g.n))
+
+    def test_first_read_covers_block0_and_power_disks(self, geometry):
+        g = geometry
+        first = formation_schedule(g)[0]
+        blocks = [e[0] for e in first]
+        assert 0 in blocks
+        for j in range(g.d):
+            assert (1 << j) in blocks
+
+
+class TestDetectionPositive:
+    def test_recovers_matrix_and_complement(self, geometry):
+        g = geometry
+        perm = BMMCPermutation(
+            random_nonsingular(g.n, np.random.default_rng(0)), 0b101101
+        )
+        s = detection_system(g, perm)
+        result = detect_bmmc(s)
+        assert result.is_bmmc
+        assert result.matrix == perm.matrix
+        assert result.complement == perm.complement
+
+    def test_read_count_equals_bound(self, any_geometry):
+        g = any_geometry
+        perm = BMMCPermutation(random_nonsingular(g.n, np.random.default_rng(1)))
+        s = detection_system(g, perm)
+        result = detect_bmmc(s)
+        assert result.is_bmmc
+        assert result.total_reads == bounds.detection_read_bound(g)
+        assert s.stats.parallel_reads == result.total_reads
+        assert s.stats.parallel_writes == 0
+
+    def test_gray_code_variant_detected(self, geometry):
+        """The Section 6 motivation: Pi G Pi^T is BMMC but not obviously so."""
+        g = geometry
+        perm = permuted_gray_code(g.n, list(np.random.default_rng(2).permutation(g.n)))
+        s = detection_system(g, perm)
+        result = detect_bmmc(s)
+        assert result.is_bmmc
+        assert result.matrix == perm.matrix
+
+    def test_bpc_detected(self, geometry):
+        g = geometry
+        perm = BMMCPermutation(random_bit_permutation(g.n, np.random.default_rng(3)), 0b1)
+        s = detection_system(g, perm)
+        result = detect_bmmc(s)
+        assert result.is_bmmc and result.matrix.is_permutation_matrix
+
+    def test_identity_detected(self, geometry):
+        g = geometry
+        s = detection_system(g, np.arange(g.N))
+        result = detect_bmmc(s)
+        assert result.is_bmmc and result.matrix.is_identity and result.complement == 0
+
+    def test_permutation_object_built(self, geometry):
+        g = geometry
+        perm = BMMCPermutation(random_mld_matrix(g.n, g.b, g.m, np.random.default_rng(4)))
+        s = detection_system(g, perm)
+        result = detect_bmmc(s)
+        rebuilt = result.permutation()
+        assert (rebuilt.target_vector() == perm.target_vector()).all()
+
+    def test_memory_released(self, geometry):
+        g = geometry
+        perm = BMMCPermutation(random_nonsingular(g.n, np.random.default_rng(5)))
+        s = detection_system(g, perm)
+        detect_bmmc(s)
+        assert s.memory.in_use == 0
+
+    def test_data_not_destroyed(self, geometry):
+        g = geometry
+        perm = BMMCPermutation(random_nonsingular(g.n, np.random.default_rng(6)))
+        s = detection_system(g, perm)
+        before = s.portion_values(0)
+        detect_bmmc(s)
+        assert (s.portion_values(0) == before).all()
+
+
+class TestDetectionNegative:
+    def test_random_permutation_rejected(self, geometry):
+        g = geometry
+        tv = np.random.default_rng(7).permutation(g.N)
+        s = detection_system(g, tv)
+        result = detect_bmmc(s)
+        assert not result.is_bmmc
+        assert result.total_reads <= bounds.detection_read_bound(g)
+
+    def test_usually_far_fewer_reads(self, geometry):
+        """'usually far fewer when the permutation turns out not to be
+        BMMC' -- a random vector almost surely yields a singular candidate
+        or an early verification failure."""
+        g = geometry
+        cheap = 0
+        for seed in range(10):
+            tv = np.random.default_rng(100 + seed).permutation(g.N)
+            s = detection_system(g, tv)
+            result = detect_bmmc(s)
+            assert not result.is_bmmc
+            if result.total_reads < bounds.detection_read_bound(g) // 2:
+                cheap += 1
+        assert cheap >= 8
+
+    def test_single_swap_rejected(self, geometry):
+        """One transposition breaks BMMC-ness; verification must catch it."""
+        g = geometry
+        perm = gray_code(g.n)
+        tv = perm.target_vector()
+        tv[[12345 % g.N, 999]] = tv[[999, 12345 % g.N]]
+        s = detection_system(g, tv)
+        result = detect_bmmc(s)
+        assert not result.is_bmmc
+        assert "mismatch" in result.reason
+
+    def test_early_exit_saves_reads(self, geometry):
+        g = geometry
+        perm = gray_code(g.n)
+        tv = perm.target_vector()
+        tv[[8, 16]] = tv[[16, 8]]  # early addresses -> early stripe mismatch...
+        s1 = detection_system(g, tv)
+        eager = detect_bmmc(s1, early_exit=True)
+        s2 = detection_system(g, tv)
+        patient = detect_bmmc(s2, early_exit=False)
+        assert not eager.is_bmmc and not patient.is_bmmc
+        assert eager.verification_reads <= patient.verification_reads
+
+    def test_singular_candidate_skips_verification(self, geometry):
+        """A target vector sending two unit vectors to images differing by c
+        gives a singular candidate -> rejected with zero verification reads."""
+        g = geometry
+        tv = np.arange(g.N)
+        # pi(0)=0 gives c=0; pi(1)=pi(2)=3 makes columns A_0 = A_1 = 3.
+        # (Not a bijection, but the detector only inspects records -- any
+        # target *vector* is legal input and this one cannot be BMMC.)
+        tv[1], tv[2] = 3, 3
+        s = ParallelDiskSystem(g, simple_io=False)
+        s.fill(0, tv)
+        result = detect_bmmc(s)
+        assert not result.is_bmmc
+        assert result.verification_reads == 0
+        assert "singular" in result.reason
+
+    def test_permutation_raises_on_negative(self, geometry):
+        g = geometry
+        tv = np.random.default_rng(8).permutation(g.N)
+        s = detection_system(g, tv)
+        result = detect_bmmc(s)
+        with pytest.raises(DetectionError):
+            result.permutation()
+
+    def test_verify_false_skips_scan(self, geometry):
+        g = geometry
+        perm = BMMCPermutation(random_nonsingular(g.n, np.random.default_rng(9)))
+        s = detection_system(g, perm)
+        result = detect_bmmc(s, verify=False)
+        assert result.verification_reads == 0
+        assert result.formation_reads == bounds.detection_formation_reads(g)
+
+
+class TestSingleDiskEdgeCases:
+    def test_single_disk(self):
+        g = DiskGeometry(N=2**10, B=2**2, D=1, M=2**5)
+        perm = BMMCPermutation(random_nonsingular(g.n, np.random.default_rng(10)), 0b11)
+        s = detection_system(g, perm)
+        result = detect_bmmc(s)
+        assert result.is_bmmc and result.matrix == perm.matrix
+        assert result.total_reads == bounds.detection_read_bound(g)
+
+    def test_two_disks(self):
+        g = DiskGeometry(N=2**10, B=2**2, D=2, M=2**5)
+        perm = BMMCPermutation(random_nonsingular(g.n, np.random.default_rng(11)))
+        s = detection_system(g, perm)
+        result = detect_bmmc(s)
+        assert result.is_bmmc and result.total_reads == bounds.detection_read_bound(g)
+
+    def test_wide_system_few_stripe_bits(self):
+        """More disks than stripe bits: everything resolves in read 1."""
+        g = DiskGeometry(N=2**11, B=2**3, D=2**3, M=2**7)  # s = 5, D = 8
+        perm = BMMCPermutation(random_nonsingular(g.n, np.random.default_rng(12)))
+        s = detection_system(g, perm)
+        result = detect_bmmc(s)
+        assert result.is_bmmc
+        assert result.formation_reads == bounds.detection_formation_reads(g)

@@ -1,0 +1,169 @@
+"""Unit tests for the Section 5 factoring pipeline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bits import linalg
+from repro.bits.colops import (
+    is_erasure_form,
+    is_mld_form,
+    is_mrc_form,
+    is_reducer_form,
+    is_swapper_form,
+    is_trailer_form,
+)
+from repro.bits.matrix import BitMatrix
+from repro.bits.random import (
+    random_bmmc_with_rank_gamma,
+    random_mrc_matrix,
+    random_nonsingular,
+)
+from repro.core.factoring import factor_bmmc
+from repro.errors import SingularMatrixError, ValidationError
+
+
+N_, B_, M_ = 10, 3, 6
+
+
+class TestFactorizationStructure:
+    def test_factor_forms(self):
+        a = random_nonsingular(N_, np.random.default_rng(0))
+        fact = factor_bmmc(a, B_, M_)
+        assert is_trailer_form(fact.trailer, B_, M_)
+        assert is_reducer_form(fact.reducer, B_, M_)
+        for s, e in fact.swap_erase:
+            assert is_swapper_form(s, M_)
+            assert is_erasure_form(e, B_, M_)
+        assert is_mrc_form(fact.final, M_)
+
+    def test_recomposition_equals_original(self):
+        rng = np.random.default_rng(1)
+        for seed in range(10):
+            a = random_nonsingular(N_, np.random.default_rng(seed))
+            fact = factor_bmmc(a, B_, M_)
+            assert fact.product_of_apply_order() == a
+            assert fact.product_of_merged() == a
+
+    def test_trailer_makes_trailing_nonsingular(self):
+        a = random_nonsingular(N_, np.random.default_rng(2))
+        fact = factor_bmmc(a, B_, M_)
+        a1 = a @ fact.trailer
+        assert linalg.is_nonsingular(a1[M_:N_, M_:N_])
+
+    def test_reduced_form_column_count(self):
+        """After reduction: exactly rho = rank A[m:, :m] nonzero lower
+        columns, the rest zero."""
+        a = random_nonsingular(N_, np.random.default_rng(3))
+        fact = factor_bmmc(a, B_, M_)
+        a2 = a @ fact.trailer @ fact.reducer
+        bottom = a2[M_:N_, 0:M_]
+        nonzero = sum(1 for j in range(M_) if bottom.column(j) != 0)
+        assert nonzero == fact.rho == linalg.rank(a[M_:N_, 0:M_])
+        # nonzero columns must be linearly independent (reduced form)
+        nz_idx = [j for j in range(M_) if bottom.column(j) != 0]
+        assert linalg.rank(bottom[:, nz_idx]) == len(nz_idx) if nz_idx else True
+
+    def test_eq17_round_count(self):
+        """g = ceil(rho / (m - b)) exactly (eq. 17)."""
+        rng = np.random.default_rng(4)
+        for seed in range(20):
+            a = random_nonsingular(N_, np.random.default_rng(seed + 50))
+            fact = factor_bmmc(a, B_, M_)
+            assert fact.g == -(-fact.rho // (M_ - B_))
+
+    def test_apply_order_names(self):
+        a = random_nonsingular(N_, np.random.default_rng(5))
+        fact = factor_bmmc(a, B_, M_)
+        names = [f.name for f in fact.apply_order]
+        assert names[0] == "P^-1" and names[-1] == "F"
+        assert names[1] == "S_1^-1" and names[2] == "E_1^-1"
+
+    def test_merged_kinds(self):
+        """Merged passes: g MLD passes then one MRC pass (Theorem 21)."""
+        a = random_nonsingular(N_, np.random.default_rng(6))
+        fact = factor_bmmc(a, B_, M_)
+        kinds = [f.kind for f in fact.merged]
+        assert kinds[-1] == "mrc"
+        assert all(k == "mld" for k in kinds[:-1])
+        assert len(fact.merged) == fact.g + 1
+
+    def test_merged_matrices_certified(self):
+        a = random_nonsingular(N_, np.random.default_rng(7))
+        fact = factor_bmmc(a, B_, M_)
+        for f in fact.merged:
+            if f.kind == "mld":
+                assert is_mld_form(f.matrix, B_, M_)
+            else:
+                assert is_mrc_form(f.matrix, M_)
+
+
+class TestSpecialCases:
+    def test_mrc_input_single_merged_pass(self):
+        a = random_mrc_matrix(N_, M_, np.random.default_rng(8))
+        fact = factor_bmmc(a, B_, M_)
+        assert fact.rho == 0 and fact.g == 0
+        assert len(fact.merged) == 1
+        assert fact.merged[0].matrix == a
+
+    def test_identity(self):
+        fact = factor_bmmc(BitMatrix.identity(N_), B_, M_)
+        assert fact.g == 0
+        assert fact.product_of_merged().is_identity
+
+    def test_singular_rejected(self):
+        with pytest.raises(SingularMatrixError):
+            factor_bmmc(BitMatrix.zeros(N_, N_), B_, M_)
+
+    def test_m_equals_b_rejected(self):
+        a = random_nonsingular(N_, np.random.default_rng(9))
+        with pytest.raises(ValidationError):
+            factor_bmmc(a, 3, 3)
+
+    def test_b_zero(self):
+        """B = 1 (b = 0): gamma is empty, but rho can still force passes."""
+        a = random_nonsingular(N_, np.random.default_rng(10))
+        fact = factor_bmmc(a, 0, M_)
+        assert fact.product_of_merged() == a
+
+    def test_m_equals_n_minus_one(self):
+        a = random_nonsingular(N_, np.random.default_rng(11))
+        fact = factor_bmmc(a, B_, N_ - 1)
+        assert fact.product_of_merged() == a
+
+    def test_worst_case_rank_gamma(self):
+        """Full-rank gamma exercises multiple swap/erase rounds."""
+        a = random_bmmc_with_rank_gamma(12, 4, 4, np.random.default_rng(12))
+        fact = factor_bmmc(a, 4, 6)  # m - b = 2, rho >= 4 - 2
+        assert fact.g >= 1
+        assert fact.product_of_merged() == a
+
+
+class TestPassCountBound:
+    """The pass count never exceeds Theorem 21's ceiling."""
+
+    @given(st.integers(0, 2**31), st.integers(0, 3))
+    @settings(max_examples=60, deadline=None)
+    def test_theorem21_pass_ceiling(self, seed, rank_g):
+        a = random_bmmc_with_rank_gamma(N_, B_, rank_g, np.random.default_rng(seed))
+        fact = factor_bmmc(a, B_, M_)
+        lg_mb = M_ - B_
+        assert fact.num_passes <= -(-rank_g // lg_mb) + 2
+
+    @given(st.integers(0, 2**31))
+    @settings(max_examples=60, deadline=None)
+    def test_recomposition_property(self, seed):
+        a = random_nonsingular(8, np.random.default_rng(seed))
+        fact = factor_bmmc(a, 2, 5)
+        assert fact.product_of_merged() == a
+
+    @given(st.integers(0, 2**31))
+    @settings(max_examples=40, deadline=None)
+    def test_lemma20_rho_bound(self, seed):
+        """Eq. 16: rho = rank A[m:, :m] <= rank gamma + lg(M/B)."""
+        a = random_nonsingular(N_, np.random.default_rng(seed))
+        fact = factor_bmmc(a, B_, M_)
+        rg = linalg.rank(a[B_:N_, 0:B_])
+        assert fact.rho <= rg + (M_ - B_)
+        assert fact.rho >= rg - (M_ - B_)

@@ -1,0 +1,144 @@
+"""Tests for the general-permutation merge-sort baseline."""
+
+import numpy as np
+import pytest
+
+from repro.core import bounds
+from repro.core.general import perform_general_sort
+from repro.errors import ValidationError
+from repro.pdm.geometry import DiskGeometry
+from repro.pdm.system import ParallelDiskSystem
+from repro.perms.base import ExplicitPermutation
+from repro.perms.bmmc import BMMCPermutation
+from repro.perms.library import bit_reversal, vector_reversal
+
+
+def run(geometry, perm, **kwargs):
+    s = ParallelDiskSystem(geometry)
+    s.fill_identity(0)
+    res = perform_general_sort(s, perm, **kwargs)
+    ok = s.verify_permutation(perm, np.arange(geometry.N), res.final_portion)
+    return s, res, ok
+
+
+@pytest.fixture
+def geometry():
+    return DiskGeometry(N=2**12, B=2**3, D=2**2, M=2**8)  # M/BD = 8 -> K = 6
+
+
+class TestCorrectness:
+    def test_random_permutation(self, geometry):
+        tv = np.random.default_rng(0).permutation(geometry.N)
+        s, res, ok = run(geometry, ExplicitPermutation(tv))
+        assert ok
+
+    def test_bmmc_permutation(self, geometry):
+        from repro.bits.random import random_nonsingular
+
+        perm = BMMCPermutation(random_nonsingular(geometry.n, np.random.default_rng(1)))
+        s, res, ok = run(geometry, perm)
+        assert ok
+
+    def test_identity(self, geometry):
+        s, res, ok = run(geometry, ExplicitPermutation(np.arange(geometry.N)))
+        assert ok
+
+    def test_reversal(self, geometry):
+        s, res, ok = run(geometry, vector_reversal(geometry.n))
+        assert ok
+
+    def test_bit_reversal(self, geometry):
+        s, res, ok = run(geometry, bit_reversal(geometry.n))
+        assert ok
+
+    def test_adversarial_interleaving(self, geometry):
+        """A permutation that interleaves memoryloads forces maximal
+        buffer churn in the merge."""
+        g = geometry
+        # send address x to (x * large_odd) mod N -- scatters every run
+        tv = (np.arange(g.N) * 1031) % g.N
+        s, res, ok = run(g, ExplicitPermutation(tv))
+        assert ok
+
+
+class TestIOAccounting:
+    def test_pass_count_formula(self, geometry):
+        tv = np.random.default_rng(2).permutation(geometry.N)
+        s, res, ok = run(geometry, ExplicitPermutation(tv))
+        assert ok
+        assert res.passes == bounds.merge_sort_passes(geometry)
+
+    def test_each_pass_is_one_sweep(self, geometry):
+        tv = np.random.default_rng(3).permutation(geometry.N)
+        s, res, ok = run(geometry, ExplicitPermutation(tv))
+        assert res.parallel_ios == res.passes * geometry.one_pass_ios
+
+    def test_all_ios_striped(self, geometry):
+        tv = np.random.default_rng(4).permutation(geometry.N)
+        s, res, ok = run(geometry, ExplicitPermutation(tv))
+        assert s.stats.independent_reads == 0
+        assert s.stats.independent_writes == 0
+
+    def test_memory_respected(self, geometry):
+        tv = np.random.default_rng(5).permutation(geometry.N)
+        s, res, ok = run(geometry, ExplicitPermutation(tv))
+        assert s.memory.peak <= geometry.M
+        s.memory.require_empty()
+
+    def test_explicit_fan_in(self, geometry):
+        tv = np.random.default_rng(6).permutation(geometry.N)
+        s, res, ok = run(geometry, ExplicitPermutation(tv), fan_in=2)
+        assert ok
+        assert res.passes == bounds.merge_sort_passes(geometry, fan_in=2)
+
+    def test_fan_in_too_large_rejected(self, geometry):
+        s = ParallelDiskSystem(geometry)
+        s.fill_identity(0)
+        with pytest.raises(ValidationError):
+            perform_general_sort(s, vector_reversal(geometry.n), fan_in=10**6)
+
+    def test_tight_memory_geometry_rejected(self):
+        g = DiskGeometry(N=2**11, B=2**3, D=2**3, M=2**7)  # M = 2BD
+        s = ParallelDiskSystem(g)
+        s.fill_identity(0)
+        with pytest.raises(ValidationError):
+            perform_general_sort(s, vector_reversal(g.n))
+
+
+class TestSortingShape:
+    def test_more_data_more_passes(self):
+        """Pass count grows logarithmically with N (the sorting bound)."""
+        passes = []
+        for n in [10, 12, 14]:
+            g = DiskGeometry(N=2**n, B=2**2, D=2**1, M=2**5)  # K = 2
+            passes.append(bounds.merge_sort_passes(g))
+        assert passes[0] < passes[1] < passes[2]
+
+    def test_measured_matches_formula_small_k(self):
+        g = DiskGeometry(N=2**10, B=2**2, D=2**1, M=2**5)
+        tv = np.random.default_rng(7).permutation(g.N)
+        s, res, ok = run(g, ExplicitPermutation(tv))
+        assert ok
+        assert res.passes == bounds.merge_sort_passes(g)
+
+
+class TestRaggedMergeGroups:
+    def test_fan_in_three_leaves_singleton_group(self):
+        """4 runs with fan-in 3 -> groups of 3 and 1; the singleton is
+        copied through correctly."""
+        g = DiskGeometry(N=2**11, B=2**2, D=2**1, M=2**6)  # 4 memoryloads? N/M = 32
+        tv = np.random.default_rng(20).permutation(g.N)
+        s = ParallelDiskSystem(g)
+        s.fill_identity(0)
+        res = perform_general_sort(s, ExplicitPermutation(tv), fan_in=3)
+        assert s.verify_permutation(ExplicitPermutation(tv), np.arange(g.N), res.final_portion)
+        assert res.passes == bounds.merge_sort_passes(g, fan_in=3)
+
+    def test_sorted_input_still_full_passes(self):
+        """Merge sort is oblivious: already-sorted input costs the same."""
+        g = DiskGeometry(N=2**11, B=2**2, D=2**1, M=2**6)
+        s = ParallelDiskSystem(g)
+        s.fill_identity(0)
+        res = perform_general_sort(s, ExplicitPermutation(np.arange(g.N)))
+        assert res.passes == bounds.merge_sort_passes(g)
+        assert res.parallel_ios == res.passes * g.one_pass_ios

@@ -1,0 +1,181 @@
+"""Tests for inverse-MLD one-pass permutations (Section 7 extension)."""
+
+import numpy as np
+import pytest
+
+from repro.bits import linalg
+from repro.bits.random import random_mld_matrix, random_mrc_matrix, random_nonsingular
+from repro.core.inverse_mld import is_inverse_mld, perform_inverse_mld_pass
+from repro.errors import NotInClassError
+from repro.pdm.geometry import DiskGeometry
+from repro.pdm.system import ParallelDiskSystem
+from repro.perms.bmmc import BMMCPermutation
+from repro.perms.classify import PermClass, classify
+
+
+def inverse_mld_perm(geometry, seed, complement=0):
+    """A permutation whose inverse is MLD (invert a random MLD matrix)."""
+    g = geometry
+    mld = random_mld_matrix(g.n, g.b, g.m, np.random.default_rng(seed))
+    return BMMCPermutation(linalg.inverse(mld), complement, validate=False)
+
+
+class TestPredicate:
+    def test_inverse_of_mld_is_inverse_mld(self, small_geometry):
+        g = small_geometry
+        perm = inverse_mld_perm(g, 0)
+        assert is_inverse_mld(perm, g.b, g.m)
+
+    def test_mrc_is_inverse_mld(self, small_geometry):
+        """MRC is closed under inverse (Thm 18) and MRC <= MLD, so every
+        MRC matrix is also inverse-MLD."""
+        g = small_geometry
+        a = random_mrc_matrix(g.n, g.m, np.random.default_rng(1))
+        assert is_inverse_mld(a, g.b, g.m)
+
+    def test_generic_bmmc_not_inverse_mld(self, small_geometry):
+        g = small_geometry
+        rng = np.random.default_rng(2)
+        for _ in range(200):
+            a = random_nonsingular(g.n, rng)
+            if not is_inverse_mld(a, g.b, g.m):
+                return
+        pytest.skip("all samples inverse-MLD (unlikely)")
+
+    def test_singular_rejected(self, small_geometry):
+        from repro.bits.matrix import BitMatrix
+
+        g = small_geometry
+        assert not is_inverse_mld(BitMatrix.zeros(g.n, g.n), g.b, g.m)
+
+
+class TestOnePass:
+    def test_correct_and_one_pass(self, any_geometry):
+        g = any_geometry
+        perm = inverse_mld_perm(g, 3)
+        s = ParallelDiskSystem(g)
+        s.fill_identity(0)
+        perform_inverse_mld_pass(s, perm, 0, 1)
+        assert s.verify_permutation(perm, np.arange(g.N), 1)
+        assert s.stats.parallel_ios == g.one_pass_ios
+
+    def test_independent_reads_striped_writes(self, small_geometry):
+        """The mirror of Theorem 15's discipline."""
+        g = small_geometry
+        perm = inverse_mld_perm(g, 4)
+        s = ParallelDiskSystem(g)
+        s.fill_identity(0)
+        perform_inverse_mld_pass(s, perm, 0, 1)
+        assert s.stats.parallel_reads == g.num_stripes
+        assert s.stats.striped_writes == g.num_stripes
+        assert s.stats.blocks_read == g.num_blocks  # full D blocks per read
+
+    def test_each_read_covers_all_disks(self, small_geometry):
+        g = small_geometry
+        perm = inverse_mld_perm(g, 5)
+        s = ParallelDiskSystem(g)
+        s.fill_identity(0)
+        reads = []
+        s.add_observer(lambda e: reads.append(e) if e.kind == "read" else None)
+        perform_inverse_mld_pass(s, perm, 0, 1)
+        for e in reads:
+            assert sorted(g.block_disk(e.block_ids)) == list(range(g.D))
+
+    def test_with_complement(self, small_geometry):
+        g = small_geometry
+        perm = inverse_mld_perm(g, 6, complement=0b1101)
+        s = ParallelDiskSystem(g)
+        s.fill_identity(0)
+        perform_inverse_mld_pass(s, perm, 0, 1)
+        assert s.verify_permutation(perm, np.arange(g.N), 1)
+
+    def test_non_member_rejected(self, small_geometry):
+        g = small_geometry
+        rng = np.random.default_rng(7)
+        for _ in range(200):
+            a = random_nonsingular(g.n, rng)
+            if not is_inverse_mld(a, g.b, g.m):
+                s = ParallelDiskSystem(g)
+                s.fill_identity(0)
+                with pytest.raises(NotInClassError):
+                    perform_inverse_mld_pass(s, BMMCPermutation(a), 0, 1)
+                return
+        pytest.skip("no non-member sample drawn")
+
+    def test_memory_empty_after(self, small_geometry):
+        g = small_geometry
+        perm = inverse_mld_perm(g, 8)
+        s = ParallelDiskSystem(g)
+        s.fill_identity(0)
+        perform_inverse_mld_pass(s, perm, 0, 1)
+        s.memory.require_empty()
+
+    def test_round_trip_mld_then_inverse(self, small_geometry):
+        """Perform an MLD permutation, then its inverse via the dual pass:
+        the data returns to the identity layout in exactly two passes."""
+        from repro.core.mld_algorithm import perform_mld_pass
+
+        g = small_geometry
+        mld_matrix = random_mld_matrix(g.n, g.b, g.m, np.random.default_rng(9))
+        perm = BMMCPermutation(mld_matrix)
+        s = ParallelDiskSystem(g)
+        s.fill_identity(0)
+        perform_mld_pass(s, perm, 0, 1)
+        perform_inverse_mld_pass(s, perm.inverse(), 1, 0)
+        assert (s.portion_values(0) == np.arange(g.N)).all()
+        assert s.stats.parallel_ios == 2 * g.one_pass_ios
+
+
+class TestIntegration:
+    def test_classified(self, small_geometry):
+        g = small_geometry
+        perm = inverse_mld_perm(g, 10)
+        labels = classify(perm, g)
+        assert PermClass.INVERSE_MLD in labels
+
+    def test_planner_shortcut(self, small_geometry):
+        from repro.core.bmmc_algorithm import plan_bmmc_passes
+        from repro.perms.mld import is_mld
+        from repro.perms.mrc import is_mrc
+
+        g = small_geometry
+        rng_seed = 0
+        # find an instance that is inverse-MLD but neither MRC nor MLD
+        for rng_seed in range(50):
+            perm = inverse_mld_perm(g, 100 + rng_seed)
+            if not is_mrc(perm, g.m) and not is_mld(perm, g.b, g.m):
+                break
+        else:
+            pytest.skip("no pure inverse-MLD instance found")
+        plan = plan_bmmc_passes(perm, g)
+        assert len(plan) == 1 and plan[0].kind == "inv-mld"
+
+    def test_runner_dispatch(self, small_geometry):
+        from repro.core.runner import perform_permutation
+        from repro.perms.mld import is_mld
+        from repro.perms.mrc import is_mrc
+
+        g = small_geometry
+        for seed in range(50):
+            perm = inverse_mld_perm(g, 200 + seed)
+            if not is_mrc(perm, g.m) and not is_mld(perm, g.b, g.m):
+                break
+        else:
+            pytest.skip("no pure inverse-MLD instance found")
+        s = ParallelDiskSystem(g)
+        s.fill_identity(0)
+        report = perform_permutation(s, perm)
+        assert report.method == "inv-mld"
+        assert report.passes == 1
+        assert report.verified
+
+    def test_perform_bmmc_uses_shortcut(self, small_geometry):
+        from repro.core.bmmc_algorithm import perform_bmmc
+
+        g = small_geometry
+        perm = inverse_mld_perm(g, 11)
+        s = ParallelDiskSystem(g)
+        s.fill_identity(0)
+        res = perform_bmmc(s, perm)
+        assert res.passes <= 2  # one if pure inverse-MLD path taken
+        assert s.verify_permutation(perm, np.arange(g.N), res.final_portion)

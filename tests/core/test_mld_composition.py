@@ -1,0 +1,142 @@
+"""Tests for the MLD o MLD^-1 one-pass performer (Section 7)."""
+
+import numpy as np
+import pytest
+
+from repro.bits.random import random_mld_matrix, random_mrc_matrix, random_nonsingular
+from repro.core.inverse_mld import perform_mld_composition_pass
+from repro.errors import NotInClassError
+from repro.pdm.geometry import DiskGeometry
+from repro.pdm.system import ParallelDiskSystem
+from repro.pdm.trace import IOTrace
+from repro.perms.bmmc import BMMCPermutation
+from repro.perms.mld import is_mld
+
+
+@pytest.fixture
+def geometry():
+    return DiskGeometry(N=2**10, B=2**3, D=2**2, M=2**6)
+
+
+def mld_pair(geometry, seed):
+    rng = np.random.default_rng(seed)
+    x = BMMCPermutation(random_mld_matrix(geometry.n, geometry.b, geometry.m, rng))
+    y = BMMCPermutation(random_mld_matrix(geometry.n, geometry.b, geometry.m, rng))
+    return x, y
+
+
+class TestOnePass:
+    def test_correct_and_one_pass(self, geometry):
+        g = geometry
+        x, y = mld_pair(g, 0)
+        s = ParallelDiskSystem(g)
+        s.fill_identity(0)
+        composed = perform_mld_composition_pass(s, y, x)
+        assert s.verify_permutation(composed, np.arange(g.N), 1)
+        assert s.stats.parallel_ios == g.one_pass_ios
+
+    def test_composition_semantics(self, geometry):
+        """The performed permutation is exactly Y o X^-1."""
+        g = geometry
+        x, y = mld_pair(g, 1)
+        s = ParallelDiskSystem(g)
+        s.fill_identity(0)
+        composed = perform_mld_composition_pass(s, y, x)
+        expected = y.compose(x.inverse())
+        assert (composed.target_vector() == expected.target_vector()).all()
+
+    def test_both_sides_independent(self, geometry):
+        """The discipline: independent reads AND independent writes, every
+        op still D-wide (the fourth row of the one-pass catalog)."""
+        g = geometry
+        x, y = mld_pair(g, 2)
+        s = ParallelDiskSystem(g)
+        s.fill_identity(0)
+        trace = IOTrace(s)
+        perform_mld_composition_pass(s, y, x)
+        summary = trace.summary()
+        assert summary.efficiency == 1.0
+        for record in trace.records:
+            assert sorted(g.block_disk(record.block_ids)) == list(range(g.D))
+
+    def test_composition_generally_not_one_pass_directly(self, geometry):
+        """The composed matrix Y X^-1 is usually in *no* direct one-pass
+        class -- the pairwise performer is genuinely stronger."""
+        from repro.core.inverse_mld import is_inverse_mld
+        from repro.perms.mrc import is_mrc
+
+        g = geometry
+        found = False
+        for seed in range(40):
+            x, y = mld_pair(g, 100 + seed)
+            composed = y.compose(x.inverse())
+            if not (
+                is_mrc(composed, g.m)
+                or is_mld(composed, g.b, g.m)
+                or is_inverse_mld(composed, g.b, g.m)
+            ):
+                found = True
+                # yet the pairwise performer does it in one pass:
+                s = ParallelDiskSystem(g)
+                s.fill_identity(0)
+                perform_mld_composition_pass(s, y, x)
+                assert s.verify_permutation(composed, np.arange(g.N), 1)
+                assert s.stats.parallel_ios == g.one_pass_ios
+                break
+        assert found, "no witness pair found"
+
+    def test_x_identity_reduces_to_mld(self, geometry):
+        from repro.bits.matrix import BitMatrix
+
+        g = geometry
+        _, y = mld_pair(g, 3)
+        identity = BMMCPermutation(BitMatrix.identity(g.n))
+        s = ParallelDiskSystem(g)
+        s.fill_identity(0)
+        composed = perform_mld_composition_pass(s, y, identity)
+        assert (composed.target_vector() == y.target_vector()).all()
+        assert s.verify_permutation(y, np.arange(g.N), 1)
+
+    def test_y_identity_reduces_to_inverse_mld(self, geometry):
+        from repro.bits.matrix import BitMatrix
+
+        g = geometry
+        x, _ = mld_pair(g, 4)
+        identity = BMMCPermutation(BitMatrix.identity(g.n))
+        s = ParallelDiskSystem(g)
+        s.fill_identity(0)
+        composed = perform_mld_composition_pass(s, identity, x)
+        assert s.verify_permutation(x.inverse(), np.arange(g.N), 1)
+
+    def test_non_mld_arguments_rejected(self, geometry):
+        g = geometry
+        rng = np.random.default_rng(5)
+        for _ in range(200):
+            a = random_nonsingular(g.n, rng)
+            if not is_mld(a, g.b, g.m):
+                break
+        bad = BMMCPermutation(a)
+        _, good = mld_pair(g, 6)
+        s = ParallelDiskSystem(g)
+        s.fill_identity(0)
+        with pytest.raises(NotInClassError):
+            perform_mld_composition_pass(s, good, bad)
+        with pytest.raises(NotInClassError):
+            perform_mld_composition_pass(s, bad, good)
+
+    def test_memory_empty_after(self, geometry):
+        g = geometry
+        x, y = mld_pair(g, 7)
+        s = ParallelDiskSystem(g)
+        s.fill_identity(0)
+        perform_mld_composition_pass(s, y, x)
+        s.memory.require_empty()
+
+    def test_across_geometries(self, any_geometry):
+        g = any_geometry
+        x, y = mld_pair(g, 8)
+        s = ParallelDiskSystem(g)
+        s.fill_identity(0)
+        composed = perform_mld_composition_pass(s, y, x)
+        assert s.verify_permutation(composed, np.arange(g.N), 1)
+        assert s.stats.parallel_ios == g.one_pass_ios

@@ -1,0 +1,193 @@
+"""Tests for the one-pass MRC and MLD performers (Table 1 row; Theorem 15)."""
+
+import numpy as np
+import pytest
+
+from repro.bits.random import random_mld_matrix, random_mrc_matrix
+from repro.errors import NotInClassError
+from repro.pdm.geometry import DiskGeometry
+from repro.pdm.system import ParallelDiskSystem
+from repro.perms.bmmc import BMMCPermutation
+from repro.perms.library import gray_code, gray_code_inverse
+from repro.core.mld_algorithm import perform_mld_pass
+from repro.core.mrc_algorithm import perform_mrc_pass
+
+
+def make_system(geometry):
+    s = ParallelDiskSystem(geometry)
+    s.fill_identity(0)
+    return s
+
+
+class TestMRCPass:
+    def test_correct_and_one_pass(self, any_geometry):
+        g = any_geometry
+        rng = np.random.default_rng(0)
+        perm = BMMCPermutation(random_mrc_matrix(g.n, g.m, rng), 0)
+        s = make_system(g)
+        perform_mrc_pass(s, perm, 0, 1)
+        assert s.verify_permutation(perm, np.arange(g.N), 1)
+        assert s.stats.parallel_ios == g.one_pass_ios
+
+    def test_all_ios_striped(self, small_geometry):
+        g = small_geometry
+        perm = BMMCPermutation(random_mrc_matrix(g.n, g.m, np.random.default_rng(1)))
+        s = make_system(g)
+        perform_mrc_pass(s, perm, 0, 1)
+        assert s.stats.striped_reads == g.num_stripes
+        assert s.stats.striped_writes == g.num_stripes
+        assert s.stats.independent_reads == 0
+        assert s.stats.independent_writes == 0
+
+    def test_with_complement(self, small_geometry):
+        g = small_geometry
+        perm = BMMCPermutation(
+            random_mrc_matrix(g.n, g.m, np.random.default_rng(2)), complement=g.N - 1
+        )
+        s = make_system(g)
+        perform_mrc_pass(s, perm, 0, 1)
+        assert s.verify_permutation(perm, np.arange(g.N), 1)
+
+    def test_gray_code_and_inverse(self, small_geometry):
+        g = small_geometry
+        for perm in [gray_code(g.n), gray_code_inverse(g.n)]:
+            s = make_system(g)
+            perform_mrc_pass(s, perm, 0, 1)
+            assert s.verify_permutation(perm, np.arange(g.N), 1)
+            assert s.stats.parallel_ios == g.one_pass_ios
+
+    def test_non_mrc_rejected(self, small_geometry):
+        g = small_geometry
+        perm = BMMCPermutation(
+            random_mld_matrix(g.n, g.b, g.m, np.random.default_rng(3))
+        )
+        from repro.perms.mrc import is_mrc
+
+        if is_mrc(perm, g.m):
+            pytest.skip("sampled MLD matrix is also MRC")
+        s = make_system(g)
+        with pytest.raises(NotInClassError):
+            perform_mrc_pass(s, perm, 0, 1)
+
+    def test_memory_empty_after(self, small_geometry):
+        g = small_geometry
+        perm = BMMCPermutation(random_mrc_matrix(g.n, g.m, np.random.default_rng(4)))
+        s = make_system(g)
+        perform_mrc_pass(s, perm, 0, 1)
+        s.memory.require_empty()
+
+    def test_pass_labelled(self, small_geometry):
+        g = small_geometry
+        perm = BMMCPermutation(random_mrc_matrix(g.n, g.m, np.random.default_rng(5)))
+        s = make_system(g)
+        perform_mrc_pass(s, perm, 0, 1, label="my-pass")
+        assert s.stats.passes[-1].label == "my-pass"
+
+
+class TestMLDPassTheorem15:
+    def test_correct_and_one_pass(self, any_geometry):
+        g = any_geometry
+        rng = np.random.default_rng(10)
+        perm = BMMCPermutation(random_mld_matrix(g.n, g.b, g.m, rng))
+        s = make_system(g)
+        perform_mld_pass(s, perm, 0, 1)
+        assert s.verify_permutation(perm, np.arange(g.N), 1)
+        assert s.stats.parallel_ios == g.one_pass_ios
+
+    def test_striped_reads_independent_writes(self, small_geometry):
+        """The exact I/O discipline of Theorem 15: striped reads, and
+        M/BD independent writes per memoryload."""
+        g = small_geometry
+        perm = BMMCPermutation(
+            random_mld_matrix(g.n, g.b, g.m, np.random.default_rng(11))
+        )
+        s = make_system(g)
+        perform_mld_pass(s, perm, 0, 1)
+        assert s.stats.striped_reads == g.num_stripes
+        assert s.stats.parallel_writes == g.num_stripes
+        # every parallel write moves a full D blocks (even dispersal)
+        assert s.stats.blocks_written == g.num_blocks
+
+    def test_each_write_covers_all_disks(self, small_geometry):
+        g = small_geometry
+        perm = BMMCPermutation(
+            random_mld_matrix(g.n, g.b, g.m, np.random.default_rng(12))
+        )
+        s = make_system(g)
+        writes = []
+        s.add_observer(lambda e: writes.append(e) if e.kind == "write" else None)
+        perform_mld_pass(s, perm, 0, 1)
+        for e in writes:
+            disks = sorted(g.block_disk(e.block_ids))
+            assert disks == list(range(g.D))
+
+    def test_with_complement(self, small_geometry):
+        g = small_geometry
+        perm = BMMCPermutation(
+            random_mld_matrix(g.n, g.b, g.m, np.random.default_rng(13)),
+            complement=0b1011,
+        )
+        s = make_system(g)
+        perform_mld_pass(s, perm, 0, 1)
+        assert s.verify_permutation(perm, np.arange(g.N), 1)
+
+    def test_various_gamma_ranks(self, small_geometry):
+        g = small_geometry
+        for gr in range(min(g.m - g.b, g.n - g.m) + 1):
+            perm = BMMCPermutation(
+                random_mld_matrix(g.n, g.b, g.m, np.random.default_rng(14 + gr), gamma_rank=gr)
+            )
+            s = make_system(g)
+            perform_mld_pass(s, perm, 0, 1)
+            assert s.verify_permutation(perm, np.arange(g.N), 1)
+
+    def test_mrc_matrix_also_runs_as_mld(self, small_geometry):
+        """Every MRC permutation is MLD (Section 3), so the MLD performer
+        must handle it."""
+        g = small_geometry
+        perm = BMMCPermutation(random_mrc_matrix(g.n, g.m, np.random.default_rng(15)))
+        s = make_system(g)
+        perform_mld_pass(s, perm, 0, 1)
+        assert s.verify_permutation(perm, np.arange(g.N), 1)
+
+    def test_non_mld_rejected(self, small_geometry):
+        g = small_geometry
+        # The paper's recipe for a non-MLD matrix: rank of gamma too high.
+        from repro.bits.random import random_nonsingular
+        from repro.bits import linalg
+
+        rng = np.random.default_rng(16)
+        for _ in range(300):
+            a = random_nonsingular(g.n, rng)
+            if linalg.rank(a[g.m : g.n, 0 : g.m]) > g.m - g.b:
+                s = make_system(g)
+                with pytest.raises(NotInClassError):
+                    perform_mld_pass(s, BMMCPermutation(a), 0, 1)
+                return
+        pytest.skip("no non-MLD sample drawn")
+
+    def test_class_check_can_be_skipped_but_asserts_fire(self, small_geometry):
+        """With check_class=False a non-MLD matrix must still fail loudly
+        via the in-flight Lemma 13 assertions, never scatter silently."""
+        g = small_geometry
+        from repro.bits.random import random_nonsingular
+        from repro.bits import linalg
+
+        rng = np.random.default_rng(17)
+        for _ in range(300):
+            a = random_nonsingular(g.n, rng)
+            if not linalg.is_nonsingular(a[0 : g.m, 0 : g.m]):
+                s = make_system(g)
+                with pytest.raises(NotInClassError):
+                    perform_mld_pass(s, BMMCPermutation(a), 0, 1, check_class=False)
+                return
+        pytest.skip("no suitable sample drawn")
+
+    def test_memory_empty_after(self, small_geometry):
+        g = small_geometry
+        perm = BMMCPermutation(
+            random_mld_matrix(g.n, g.b, g.m, np.random.default_rng(18))
+        )
+        s = make_system(g)
+        perform_mld_pass(s, perm, 0, 1)
+        s.memory.require_empty()

@@ -1,0 +1,110 @@
+"""Tests for pipeline composition (Lemma 1 as an I/O optimization)."""
+
+import numpy as np
+import pytest
+
+from repro.bits.random import random_nonsingular
+from repro.core.bmmc_algorithm import perform_bmmc
+from repro.core.runner import perform_pipeline, perform_permutation
+from repro.errors import ValidationError
+from repro.pdm.geometry import DiskGeometry
+from repro.pdm.system import ParallelDiskSystem
+from repro.perms.bmmc import BMMCPermutation
+from repro.perms.library import gray_code, gray_code_inverse, matrix_transpose
+
+
+@pytest.fixture
+def geometry():
+    return DiskGeometry(N=2**12, B=2**3, D=2**2, M=2**7)
+
+
+def fresh(geometry):
+    s = ParallelDiskSystem(geometry)
+    s.fill_identity(0)
+    return s
+
+
+class TestCorrectness:
+    def test_two_stage_pipeline(self, geometry):
+        g = geometry
+        rng = np.random.default_rng(0)
+        p1 = BMMCPermutation(random_nonsingular(g.n, rng), 0b101)
+        p2 = BMMCPermutation(random_nonsingular(g.n, rng), 0b011)
+        s = fresh(g)
+        report = perform_pipeline(s, [p1, p2])
+        assert report.verified
+        # the physical result equals running the two stages separately
+        s2 = fresh(g)
+        r1 = perform_bmmc(s2, p1, 0, 1)
+        other = 0 if r1.final_portion == 1 else 1
+        r2 = perform_bmmc(s2, p2, r1.final_portion, other)
+        assert (
+            s.portion_values(report.final_portion)
+            == s2.portion_values(r2.final_portion)
+        ).all()
+
+    def test_three_stage_pipeline(self, geometry):
+        g = geometry
+        rng = np.random.default_rng(1)
+        stages = [BMMCPermutation(random_nonsingular(g.n, rng)) for _ in range(3)]
+        s = fresh(g)
+        report = perform_pipeline(s, stages)
+        assert report.verified
+
+    def test_single_stage(self, geometry):
+        s = fresh(geometry)
+        report = perform_pipeline(s, [gray_code(geometry.n)])
+        assert report.verified and report.method == "mrc"
+
+    def test_empty_rejected(self, geometry):
+        with pytest.raises(ValidationError):
+            perform_pipeline(fresh(geometry), [])
+
+    def test_mixed_explicit_stage(self, geometry):
+        from repro.perms.base import ExplicitPermutation
+
+        g = geometry
+        tv = np.random.default_rng(2).permutation(g.N)
+        s = fresh(g)
+        report = perform_pipeline(s, [gray_code(g.n), ExplicitPermutation(tv)])
+        assert report.verified
+
+
+class TestSavings:
+    def test_gray_then_inverse_collapses_to_identity(self, geometry):
+        """The canonical win: a relayout followed by its undo costs one
+        (identity MRC) pass instead of two."""
+        g = geometry
+        s = fresh(g)
+        report = perform_pipeline(s, [gray_code(g.n), gray_code_inverse(g.n)])
+        assert report.verified
+        assert report.passes == 1  # composed = identity = MRC one-pass
+
+    def test_pipeline_never_worse_than_sum(self, geometry):
+        """Composed cost <= sum of stage costs for BMMC chains (the
+        composed rank gamma cannot exceed what the chain pays)."""
+        g = geometry
+        rng = np.random.default_rng(3)
+        for _ in range(5):
+            p1 = BMMCPermutation(random_nonsingular(g.n, rng))
+            p2 = BMMCPermutation(random_nonsingular(g.n, rng))
+            s_pipe = fresh(g)
+            pipe = perform_pipeline(s_pipe, [p1, p2])
+            s_sep = fresh(g)
+            r1 = perform_permutation(s_sep, p1, verify=False)
+            separate_ios = r1.io.parallel_ios
+            other = 0 if r1.final_portion == 1 else 1
+            r2 = perform_permutation(
+                s_sep, p2, source_portion=r1.final_portion, target_portion=other, verify=False
+            )
+            separate_ios += r2.io.parallel_ios
+            assert pipe.io.parallel_ios <= separate_ios
+
+    def test_transpose_chain(self, geometry):
+        """Transpose + transpose-back = identity: one pass, not six."""
+        g = geometry
+        t = matrix_transpose(g.n // 2, g.n - g.n // 2)
+        back = matrix_transpose(g.n - g.n // 2, g.n // 2)
+        s = fresh(g)
+        report = perform_pipeline(s, [t, back])
+        assert report.verified and report.passes == 1

@@ -1,0 +1,159 @@
+"""Tests for the executable potential argument (Section 2 + Section 7)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.bits.random import random_bmmc_with_rank_gamma, random_mld_matrix, random_nonsingular
+from repro.core import bounds
+from repro.core.bmmc_algorithm import perform_bmmc
+from repro.core.mld_algorithm import perform_mld_pass
+from repro.core.potential import PotentialTracker, compute_potential, f
+from repro.pdm.geometry import DiskGeometry
+from repro.pdm.system import ParallelDiskSystem
+from repro.perms.bmmc import BMMCPermutation
+
+
+@pytest.fixture
+def geometry():
+    return DiskGeometry(N=2**10, B=2**3, D=2**2, M=2**6)
+
+
+def tracked_run(geometry, perm):
+    s = ParallelDiskSystem(geometry)
+    s.fill_identity(0)
+    tracker = PotentialTracker(s, perm)
+    res = perform_bmmc(s, perm)
+    assert s.verify_permutation(perm, np.arange(geometry.N), res.final_portion)
+    return s, tracker, res
+
+
+class TestF:
+    def test_values(self):
+        assert f(0) == 0.0
+        assert f(1) == 0.0
+        assert f(2) == 2.0
+        assert f(8) == 24.0
+
+    def test_superadditive(self):
+        """f(a + b) >= f(a) + f(b): clustering records raises potential."""
+        for a in range(0, 10):
+            for b in range(0, 10):
+                assert f(a + b) >= f(a) + f(b) - 1e-12
+
+
+class TestInitialPotentialEq9:
+    """Phi(0) = N (lg B - rank gamma) on the canonical layout."""
+
+    def test_across_ranks(self, geometry):
+        g = geometry
+        for r in range(min(g.b, g.n - g.b) + 1):
+            perm = BMMCPermutation(
+                random_bmmc_with_rank_gamma(g.n, g.b, r, np.random.default_rng(r))
+            )
+            s = ParallelDiskSystem(g)
+            s.fill_identity(0)
+            tracker = PotentialTracker(s, perm)
+            assert abs(tracker.potential - g.N * (g.b - r)) < 1e-6
+
+    def test_identity_initial_equals_final(self, geometry):
+        from repro.bits.matrix import BitMatrix
+
+        g = geometry
+        perm = BMMCPermutation(BitMatrix.identity(g.n))
+        s = ParallelDiskSystem(g)
+        s.fill_identity(0)
+        tracker = PotentialTracker(s, perm)
+        assert abs(tracker.potential - g.N * g.b) < 1e-6
+
+
+class TestLemma10:
+    """Each source block maps to 2^r target blocks, B/2^r records each."""
+
+    def test_group_structure(self, geometry):
+        g = geometry
+        for r in range(g.b + 1):
+            perm = BMMCPermutation(
+                random_bmmc_with_rank_gamma(g.n, g.b, r, np.random.default_rng(10 + r))
+            )
+            targets = perm.target_vector()
+            for k in [0, 1, g.num_blocks // 2, g.num_blocks - 1]:
+                block_targets = targets[k * g.B : (k + 1) * g.B] >> g.b
+                uniq, counts = np.unique(block_targets, return_counts=True)
+                assert uniq.size == 2**r
+                assert (counts == g.B // 2**r).all()
+
+
+class TestTrackerInvariants:
+    def test_final_potential(self, geometry):
+        g = geometry
+        perm = BMMCPermutation(random_nonsingular(g.n, np.random.default_rng(0)), 0b11)
+        s, tracker, res = tracked_run(g, perm)
+        assert abs(tracker.potential - g.N * g.b) < 1e-6
+
+    def test_read_deltas_capped(self, geometry):
+        g = geometry
+        perm = BMMCPermutation(random_nonsingular(g.n, np.random.default_rng(1)))
+        s, tracker, res = tracked_run(g, perm)
+        tracker.verify_bounds()
+        assert tracker.max_read_delta() <= g.D * bounds.delta_max(g) + 1e-9
+
+    def test_write_deltas_nonpositive(self, geometry):
+        g = geometry
+        perm = BMMCPermutation(random_nonsingular(g.n, np.random.default_rng(2)))
+        s, tracker, res = tracked_run(g, perm)
+        assert tracker.max_write_delta() <= 1e-9
+
+    def test_incremental_matches_rescan(self, geometry):
+        g = geometry
+        perm = BMMCPermutation(random_nonsingular(g.n, np.random.default_rng(3)))
+        s, tracker, res = tracked_run(g, perm)
+        assert abs(tracker.potential - compute_potential(s, perm)) < 1e-6
+
+    def test_history_lengths(self, geometry):
+        g = geometry
+        perm = BMMCPermutation(random_nonsingular(g.n, np.random.default_rng(4)))
+        s, tracker, res = tracked_run(g, perm)
+        assert len(tracker.history) == res.parallel_ios
+
+    def test_requires_simple_io(self, geometry):
+        s = ParallelDiskSystem(geometry, simple_io=False)
+        s.fill_identity(0)
+        perm = BMMCPermutation(random_nonsingular(geometry.n, np.random.default_rng(5)))
+        with pytest.raises(ValueError):
+            PotentialTracker(s, perm)
+
+    def test_detach_stops_tracking(self, geometry):
+        g = geometry
+        perm = BMMCPermutation(random_mld_matrix(g.n, g.b, g.m, np.random.default_rng(6)))
+        s = ParallelDiskSystem(g)
+        s.fill_identity(0)
+        tracker = PotentialTracker(s, perm)
+        tracker.detach()
+        perform_mld_pass(s, perm, 0, 1)
+        assert len(tracker.history) == 0
+
+
+class TestLowerBoundDerivation:
+    """The numeric Theorem 3 argument: t >= (Phi(t) - Phi(0)) / (D Delta_max)."""
+
+    def test_potential_lower_bound_holds(self, geometry):
+        g = geometry
+        for seed in range(5):
+            perm = BMMCPermutation(random_nonsingular(g.n, np.random.default_rng(seed)))
+            s, tracker, res = tracked_run(g, perm)
+            phi0 = g.N * (g.b - perm.rank_gamma(g.b))
+            t_lb = (g.N * g.b - phi0) / (g.D * bounds.delta_max(g))
+            assert res.parallel_ios >= t_lb - 1e-9
+
+    def test_sharpened_bound_respected_by_algorithm(self, geometry):
+        g = geometry
+        for r in range(min(g.b, g.n - g.b) + 1):
+            perm = BMMCPermutation(
+                random_bmmc_with_rank_gamma(g.n, g.b, r, np.random.default_rng(20 + r))
+            )
+            s = ParallelDiskSystem(g)
+            s.fill_identity(0)
+            res = perform_bmmc(s, perm)
+            assert res.parallel_ios >= bounds.sharpened_lower_bound(g, r) - 1e-9

@@ -1,0 +1,96 @@
+"""Conservation invariants: records are never created, lost, or duplicated.
+
+Under simple I/O exactly one copy of each record exists at all times
+(Lemma 4's normal form); after any complete algorithm run, the multiset
+of payloads on disk equals the input multiset exactly.  These tests run
+every algorithm and check conservation, which would catch entire
+classes of indexing bugs that per-permutation verification might miss
+on symmetric inputs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bits.random import random_mld_matrix, random_nonsingular
+from repro.core.bmmc_algorithm import perform_bmmc
+from repro.core.general import perform_general_sort
+from repro.core.distribution import perform_distribution_sort
+from repro.core.mld_algorithm import perform_mld_pass
+from repro.pdm.geometry import DiskGeometry
+from repro.pdm.system import EMPTY, ParallelDiskSystem
+from repro.perms.base import ExplicitPermutation
+from repro.perms.bmmc import BMMCPermutation
+
+
+@pytest.fixture
+def geometry():
+    return DiskGeometry(N=2**11, B=2**2, D=2**1, M=2**7)
+
+
+def occupied_payloads(system):
+    """All non-empty payloads across every portion, sorted."""
+    values = np.concatenate(
+        [system.portion_values(p) for p in range(system.num_portions)]
+    )
+    return np.sort(values[values != EMPTY])
+
+
+class TestConservation:
+    def test_bmmc_run(self, geometry):
+        g = geometry
+        s = ParallelDiskSystem(g)
+        s.fill_identity(0)
+        perm = BMMCPermutation(random_nonsingular(g.n, np.random.default_rng(0)))
+        perform_bmmc(s, perm)
+        assert (occupied_payloads(s) == np.arange(g.N)).all()
+
+    def test_mld_pass(self, geometry):
+        g = geometry
+        s = ParallelDiskSystem(g)
+        s.fill_identity(0)
+        perm = BMMCPermutation(random_mld_matrix(g.n, g.b, g.m, np.random.default_rng(1)))
+        perform_mld_pass(s, perm, 0, 1)
+        assert (occupied_payloads(s) == np.arange(g.N)).all()
+
+    def test_merge_sort(self, geometry):
+        g = geometry
+        s = ParallelDiskSystem(g)
+        s.fill_identity(0)
+        perform_general_sort(s, ExplicitPermutation(np.random.default_rng(2).permutation(g.N)))
+        assert (occupied_payloads(s) == np.arange(g.N)).all()
+
+    def test_distribution_sort(self):
+        g = DiskGeometry(N=2**11, B=2**2, D=2**1, M=2**7)
+        s = ParallelDiskSystem(g)
+        s.fill_identity(0)
+        perform_distribution_sort(
+            s, ExplicitPermutation(np.random.default_rng(3).permutation(g.N))
+        )
+        assert (occupied_payloads(s) == np.arange(g.N)).all()
+
+    def test_nonidentity_payloads_conserved(self, geometry):
+        """Conservation with arbitrary (repeated) payloads, not just the
+        canonical identity fill."""
+        g = geometry
+        s = ParallelDiskSystem(g)
+        payload = np.random.default_rng(4).integers(0, 100, size=g.N)
+        s.fill(0, payload)
+        perm = BMMCPermutation(random_nonsingular(g.n, np.random.default_rng(5)))
+        perform_bmmc(s, perm)
+        assert (occupied_payloads(s) == np.sort(payload)).all()
+
+    def test_mid_run_single_copy(self, geometry):
+        """During a run, disk records + memory records == N at every event."""
+        g = geometry
+        s = ParallelDiskSystem(g)
+        s.fill_identity(0)
+        counts = []
+
+        def check(event):
+            on_disk = int((s._data != EMPTY).sum())
+            counts.append(on_disk + s.memory.in_use)
+
+        s.add_observer(check)
+        perm = BMMCPermutation(random_nonsingular(g.n, np.random.default_rng(6)))
+        perform_bmmc(s, perm)
+        assert counts and all(c == g.N for c in counts)

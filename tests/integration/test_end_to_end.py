@@ -1,0 +1,174 @@
+"""End-to-end integration: detect -> classify -> plan -> run -> verify."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    BMMCPermutation,
+    DiskGeometry,
+    ExplicitPermutation,
+    ParallelDiskSystem,
+    bounds,
+    detect_bmmc,
+    perform_bmmc,
+    perform_general_sort,
+    perform_permutation,
+    store_target_vector,
+)
+from repro.bits.random import random_bmmc_with_rank_gamma, random_nonsingular
+from repro.perms import library
+
+
+class TestDetectThenRun:
+    """The workflow Section 6 envisions: a program hands the runtime a raw
+    target vector; the runtime detects BMMC-ness and picks the fast path."""
+
+    def test_detected_permutation_runs_optimally(self):
+        g = DiskGeometry(N=2**12, B=2**3, D=2**2, M=2**7)
+        hidden = BMMCPermutation(
+            random_nonsingular(g.n, np.random.default_rng(0)), 0b110011
+        )
+        # stage 1: detection on the stored target vector
+        probe = ParallelDiskSystem(g, simple_io=False)
+        store_target_vector(probe, hidden)
+        result = detect_bmmc(probe)
+        assert result.is_bmmc
+        detection_cost = result.total_reads
+        assert detection_cost == bounds.detection_read_bound(g)
+        # stage 2: run the recovered permutation with the optimal algorithm
+        runner = ParallelDiskSystem(g)
+        runner.fill_identity(0)
+        recovered = result.permutation()
+        res = perform_bmmc(runner, recovered)
+        assert runner.verify_permutation(hidden, np.arange(g.N), res.final_portion)
+        # total cost beats running the general permuter blind
+        general = ParallelDiskSystem(g)
+        general.fill_identity(0)
+        gres = perform_general_sort(general, hidden)
+        assert detection_cost + res.parallel_ios < gres.parallel_ios or (
+            res.passes >= bounds.merge_sort_passes(g) - 1
+        )
+
+    def test_non_bmmc_falls_back_to_general(self):
+        g = DiskGeometry(N=2**11, B=2**2, D=2**1, M=2**6)
+        tv = np.random.default_rng(1).permutation(g.N)
+        probe = ParallelDiskSystem(g, simple_io=False)
+        store_target_vector(probe, tv)
+        assert not detect_bmmc(probe).is_bmmc
+        runner = ParallelDiskSystem(g)
+        runner.fill_identity(0)
+        report = perform_permutation(runner, ExplicitPermutation(tv))
+        assert report.method == "general" and report.verified
+
+
+class TestChainedPermutations:
+    def test_compose_two_runs_equals_one_composed_run(self):
+        """Running pi2 after pi1 must equal running pi2 o pi1 (Lemma 1 made
+        physical)."""
+        g = DiskGeometry(N=2**10, B=2**2, D=2**1, M=2**6)
+        rng = np.random.default_rng(2)
+        p1 = BMMCPermutation(random_nonsingular(g.n, rng), 0b1010)
+        p2 = BMMCPermutation(random_nonsingular(g.n, rng), 0b0101)
+
+        s = ParallelDiskSystem(g)
+        s.fill_identity(0)
+        r1 = perform_bmmc(s, p1, 0, 1)
+        # second run starts where the first ended
+        other = 0 if r1.final_portion == 1 else 1
+        r2 = perform_bmmc(s, p2, r1.final_portion, other)
+        composed = p2.compose(p1)
+        assert s.verify_permutation(composed, np.arange(g.N), r2.final_portion)
+
+    def test_inverse_restores_identity_layout(self):
+        g = DiskGeometry(N=2**10, B=2**2, D=2**1, M=2**6)
+        perm = BMMCPermutation(random_nonsingular(g.n, np.random.default_rng(3)), 0b11)
+        s = ParallelDiskSystem(g)
+        s.fill_identity(0)
+        r1 = perform_bmmc(s, perm, 0, 1)
+        other = 0 if r1.final_portion == 1 else 1
+        r2 = perform_bmmc(s, perm.inverse(), r1.final_portion, other)
+        assert (s.portion_values(r2.final_portion) == np.arange(g.N)).all()
+
+
+class TestAlgorithmsAgree:
+    """Every algorithm must produce the identical physical layout."""
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_bmmc_vs_general(self, seed):
+        g = DiskGeometry(N=2**11, B=2**2, D=2**1, M=2**7)
+        perm = BMMCPermutation(random_nonsingular(g.n, np.random.default_rng(seed)))
+        s1 = ParallelDiskSystem(g)
+        s1.fill_identity(0)
+        r1 = perform_bmmc(s1, perm)
+        s2 = ParallelDiskSystem(g)
+        s2.fill_identity(0)
+        r2 = perform_general_sort(s2, perm)
+        assert (
+            s1.portion_values(r1.final_portion) == s2.portion_values(r2.final_portion)
+        ).all()
+
+    def test_merged_vs_unmerged(self):
+        g = DiskGeometry(N=2**11, B=2**2, D=2**1, M=2**7)
+        perm = BMMCPermutation(random_nonsingular(g.n, np.random.default_rng(9)), 0b1)
+        s1 = ParallelDiskSystem(g)
+        s1.fill_identity(0)
+        r1 = perform_bmmc(s1, perm, merge_factors=True)
+        s2 = ParallelDiskSystem(g)
+        s2.fill_identity(0)
+        r2 = perform_bmmc(s2, perm, merge_factors=False)
+        assert (
+            s1.portion_values(r1.final_portion) == s2.portion_values(r2.final_portion)
+        ).all()
+
+
+class TestTransposeWorkload:
+    """The motivating workload: out-of-core matrix transposition."""
+
+    def test_transpose_cost_scales_with_min_bound(self):
+        g = DiskGeometry(N=2**14, B=2**4, D=2**2, M=2**9)
+        perm = library.matrix_transpose(7, 7)
+        s = ParallelDiskSystem(g)
+        s.fill_identity(0)
+        report = perform_permutation(s, perm)
+        assert report.verified
+        rg = perm.rank_gamma(g.b)
+        assert report.io.parallel_ios <= bounds.theorem21_upper_bound(g, rg)
+
+    def test_transpose_data_layout(self):
+        """After the run, the payload at address j + S*i is the element
+        originally at i + R*j."""
+        g = DiskGeometry(N=2**10, B=2**2, D=2**1, M=2**6)
+        lg_r = 4
+        lg_s = g.n - lg_r
+        r_dim, s_dim = 1 << lg_r, 1 << lg_s
+        perm = library.matrix_transpose(lg_r, lg_s)
+        s = ParallelDiskSystem(g)
+        s.fill_identity(0)
+        res = perform_bmmc(s, perm)
+        out = s.portion_values(res.final_portion)
+        rng = np.random.default_rng(4)
+        for _ in range(30):
+            i, j = int(rng.integers(0, r_dim)), int(rng.integers(0, s_dim))
+            assert out[j + s_dim * i] == i + r_dim * j
+
+
+class TestStressGeometries:
+    @pytest.mark.parametrize(
+        "params",
+        [
+            dict(N=2**16, B=2**4, D=2**3, M=2**10),
+            dict(N=2**15, B=2**5, D=2**2, M=2**9),
+            dict(N=2**14, B=2**1, D=2**4, M=2**7),
+        ],
+        ids=["64Ki", "32Ki-wideB", "16Ki-manyD"],
+    )
+    def test_larger_systems(self, params):
+        g = DiskGeometry(**params)
+        perm = BMMCPermutation(
+            random_bmmc_with_rank_gamma(g.n, g.b, min(g.b, g.n - g.b), np.random.default_rng(5))
+        )
+        s = ParallelDiskSystem(g)
+        s.fill_identity(0)
+        res = perform_bmmc(s, perm)
+        assert s.verify_permutation(perm, np.arange(g.N), res.final_portion)
+        assert res.parallel_ios <= bounds.theorem21_upper_bound(g, perm.rank_gamma(g.b))

@@ -1,0 +1,161 @@
+"""Failure injection: the simulator and algorithms must fail loudly.
+
+Every hard rule of the model (one block per disk, M-record memory,
+simple-I/O block states) and every class precondition must raise a
+specific library exception rather than corrupting data.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bits.matrix import BitMatrix
+from repro.bits.random import random_nonsingular
+from repro.errors import (
+    BlockStateError,
+    DiskConflictError,
+    MemoryCapacityError,
+    NotInClassError,
+    SingularMatrixError,
+    ValidationError,
+)
+from repro.pdm.geometry import DiskGeometry
+from repro.pdm.system import ParallelDiskSystem
+from repro.perms.bmmc import BMMCPermutation
+
+
+@pytest.fixture
+def geometry():
+    return DiskGeometry(N=2**10, B=2**3, D=2**2, M=2**6)
+
+
+@pytest.fixture
+def system(geometry):
+    s = ParallelDiskSystem(geometry)
+    s.fill_identity(0)
+    return s
+
+
+class TestModelRuleViolations:
+    def test_two_blocks_one_disk(self, system):
+        with pytest.raises(DiskConflictError):
+            system.read_blocks(0, [0, 4])
+
+    def test_write_conflict(self, system):
+        vals = system.read_blocks(0, [0, 1])
+        with pytest.raises(DiskConflictError):
+            system.write_blocks(1, [1, 5], vals)
+
+    def test_memory_overflow_on_read(self, geometry):
+        s = ParallelDiskSystem(geometry)
+        s.fill_identity(0)
+        # M = 64, stripe = 32 records: third stripe read must fail
+        s.read_stripe(0, 0)
+        s.read_stripe(0, 1)
+        with pytest.raises(MemoryCapacityError):
+            s.read_stripe(0, 2)
+
+    def test_double_read_consumed_block(self, system):
+        system.read_blocks(0, [0])
+        with pytest.raises(BlockStateError):
+            system.read_blocks(0, [0])
+
+    def test_double_write_same_block(self, system):
+        vals = system.read_blocks(0, [0, 1])
+        system.write_blocks(1, [0], vals[:1])
+        with pytest.raises(BlockStateError):
+            system.write_blocks(1, [0], vals[1:])
+
+    def test_reading_empty_portion(self, system):
+        with pytest.raises(BlockStateError):
+            system.read_blocks(1, [0])
+
+    def test_memory_underflow_on_unmatched_write(self, system):
+        with pytest.raises(MemoryCapacityError):
+            system.write_blocks(1, [0], np.zeros((1, system.geometry.B)))
+
+
+class TestAlgorithmPreconditions:
+    def test_singular_matrix_rejected_at_construction(self):
+        singular = BitMatrix.from_rows([[1, 1], [1, 1]])
+        with pytest.raises(SingularMatrixError):
+            BMMCPermutation(singular)
+
+    def test_mrc_performer_rejects_non_mrc(self, system, geometry):
+        g = geometry
+        from repro.core.mrc_algorithm import perform_mrc_pass
+        from repro.perms.mrc import is_mrc
+
+        rng = np.random.default_rng(0)
+        for _ in range(100):
+            a = random_nonsingular(g.n, rng)
+            if not is_mrc(a, g.m):
+                break
+        with pytest.raises(NotInClassError):
+            perform_mrc_pass(system, BMMCPermutation(a), 0, 1)
+
+    def test_mld_performer_rejects_non_mld(self, system, geometry):
+        g = geometry
+        from repro.core.mld_algorithm import perform_mld_pass
+        from repro.perms.mld import is_mld
+
+        rng = np.random.default_rng(1)
+        for _ in range(200):
+            a = random_nonsingular(g.n, rng)
+            if not is_mld(a, g.b, g.m):
+                break
+        with pytest.raises(NotInClassError):
+            perform_mld_pass(system, BMMCPermutation(a), 0, 1)
+
+    def test_factoring_rejects_degenerate_sections(self, geometry):
+        from repro.core.factoring import factor_bmmc
+
+        a = random_nonsingular(8, np.random.default_rng(2))
+        with pytest.raises(ValidationError):
+            factor_bmmc(a, 5, 5)  # m == b
+
+    def test_plan_rejects_wrong_size(self, geometry):
+        from repro.core.bmmc_algorithm import plan_bmmc_passes
+
+        perm = BMMCPermutation(random_nonsingular(geometry.n + 2, np.random.default_rng(3)))
+        with pytest.raises(ValidationError):
+            plan_bmmc_passes(perm, geometry)
+
+    def test_general_sort_memory_precondition(self):
+        from repro.core.general import perform_general_sort
+        from repro.perms.library import vector_reversal
+
+        g = DiskGeometry(N=2**10, B=2**3, D=2**3, M=2**7)  # M = 2BD: too tight
+        s = ParallelDiskSystem(g)
+        s.fill_identity(0)
+        with pytest.raises(ValidationError):
+            perform_general_sort(s, vector_reversal(g.n))
+
+
+class TestStateAfterFailure:
+    def test_failed_read_leaves_memory_consistent(self, system):
+        in_use = system.memory.in_use
+        with pytest.raises(DiskConflictError):
+            system.read_blocks(0, [0, 4])
+        assert system.memory.in_use == in_use
+
+    def test_failed_class_check_before_any_io(self, system, geometry):
+        """Class preconditions are checked before I/O begins: no I/Os are
+        charged for a rejected run."""
+        g = geometry
+        from repro.core.mrc_algorithm import perform_mrc_pass
+        from repro.perms.mrc import is_mrc
+
+        rng = np.random.default_rng(4)
+        for _ in range(100):
+            a = random_nonsingular(g.n, rng)
+            if not is_mrc(a, g.m):
+                break
+        before = system.stats.parallel_ios
+        with pytest.raises(NotInClassError):
+            perform_mrc_pass(system, BMMCPermutation(a), 0, 1)
+        assert system.stats.parallel_ios == before
+
+    def test_data_intact_after_rejected_op(self, system):
+        with pytest.raises(DiskConflictError):
+            system.read_blocks(0, [0, 4])
+        assert (system.portion_values(0) == np.arange(system.geometry.N)).all()

@@ -1,0 +1,98 @@
+"""Hypothesis property tests over the full pipeline.
+
+Universally quantified over random geometries and random instances:
+every BMMC permutation runs correctly within Theorem 21's bound, every
+MLD instance is one-pass, detection is a faithful round-trip, and all
+algorithms agree on the final physical layout.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bits.random import random_mld_matrix, random_nonsingular
+from repro.core import bounds
+from repro.core.bmmc_algorithm import perform_bmmc
+from repro.core.detect import detect_bmmc, store_target_vector
+from repro.core.mld_algorithm import perform_mld_pass
+from repro.pdm.system import ParallelDiskSystem
+from repro.perms.bmmc import BMMCPermutation
+
+from tests.conftest import geometry_strategy
+
+
+@given(geometry_strategy(), st.integers(0, 2**31))
+@settings(max_examples=30, deadline=None)
+def test_bmmc_runs_correctly_on_any_geometry(geometry, seed):
+    rng = np.random.default_rng(seed)
+    perm = BMMCPermutation(
+        random_nonsingular(geometry.n, rng), int(rng.integers(0, geometry.N))
+    )
+    system = ParallelDiskSystem(geometry)
+    system.fill_identity(0)
+    result = perform_bmmc(system, perm)
+    assert system.verify_permutation(perm, np.arange(geometry.N), result.final_portion)
+    assert result.parallel_ios <= bounds.theorem21_upper_bound(
+        geometry, perm.rank_gamma(geometry.b)
+    )
+    system.memory.require_empty()
+
+
+@given(geometry_strategy(), st.integers(0, 2**31))
+@settings(max_examples=30, deadline=None)
+def test_mld_one_pass_on_any_geometry(geometry, seed):
+    g = geometry
+    perm = BMMCPermutation(
+        random_mld_matrix(g.n, g.b, g.m, np.random.default_rng(seed))
+    )
+    system = ParallelDiskSystem(g)
+    system.fill_identity(0)
+    perform_mld_pass(system, perm, 0, 1)
+    assert system.verify_permutation(perm, np.arange(g.N), 1)
+    assert system.stats.parallel_ios == g.one_pass_ios
+
+
+@given(geometry_strategy(), st.integers(0, 2**31))
+@settings(max_examples=20, deadline=None)
+def test_detection_round_trip_on_any_geometry(geometry, seed):
+    g = geometry
+    rng = np.random.default_rng(seed)
+    perm = BMMCPermutation(random_nonsingular(g.n, rng), int(rng.integers(0, g.N)))
+    system = ParallelDiskSystem(g, simple_io=False)
+    store_target_vector(system, perm)
+    result = detect_bmmc(system)
+    assert result.is_bmmc
+    assert result.matrix == perm.matrix
+    assert result.complement == perm.complement
+    assert result.total_reads == bounds.detection_read_bound(g)
+
+
+@given(geometry_strategy(), st.integers(0, 2**31))
+@settings(max_examples=15, deadline=None)
+def test_merged_and_unmerged_agree(geometry, seed):
+    perm = BMMCPermutation(
+        random_nonsingular(geometry.n, np.random.default_rng(seed))
+    )
+    s1 = ParallelDiskSystem(geometry)
+    s1.fill_identity(0)
+    r1 = perform_bmmc(s1, perm, merge_factors=True)
+    s2 = ParallelDiskSystem(geometry)
+    s2.fill_identity(0)
+    r2 = perform_bmmc(s2, perm, merge_factors=False)
+    assert (
+        s1.portion_values(r1.final_portion) == s2.portion_values(r2.final_portion)
+    ).all()
+
+
+@given(geometry_strategy(), st.integers(0, 2**31))
+@settings(max_examples=15, deadline=None)
+def test_inverse_undoes_permutation(geometry, seed):
+    g = geometry
+    rng = np.random.default_rng(seed)
+    perm = BMMCPermutation(random_nonsingular(g.n, rng), int(rng.integers(0, g.N)))
+    system = ParallelDiskSystem(g)
+    system.fill_identity(0)
+    r1 = perform_bmmc(system, perm, 0, 1)
+    other = 0 if r1.final_portion == 1 else 1
+    r2 = perform_bmmc(system, perm.inverse(), r1.final_portion, other)
+    assert (system.portion_values(r2.final_portion) == np.arange(g.N)).all()

@@ -1,0 +1,146 @@
+"""Unit tests for DiskGeometry: validation, derived quantities, field math."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.pdm.geometry import DiskGeometry, is_power_of_two
+
+from tests.conftest import FIGURE1_GEOMETRY, FIGURE2_GEOMETRY
+
+
+class TestValidation:
+    def test_valid(self):
+        g = DiskGeometry(N=1024, B=8, D=4, M=128)
+        assert (g.n, g.b, g.d, g.m, g.s) == (10, 3, 2, 7, 5)
+
+    @pytest.mark.parametrize("field", ["N", "B", "D", "M"])
+    def test_non_power_of_two_rejected(self, field):
+        params = dict(N=1024, B=8, D=4, M=128)
+        params[field] = params[field] + 1
+        with pytest.raises(ValidationError):
+            DiskGeometry(**params)
+
+    def test_bd_exceeds_m_rejected(self):
+        with pytest.raises(ValidationError):
+            DiskGeometry(N=1024, B=32, D=8, M=128)
+
+    def test_m_at_least_n_rejected(self):
+        with pytest.raises(ValidationError):
+            DiskGeometry(N=128, B=8, D=4, M=128)
+
+    def test_m_less_than_2b_rejected(self):
+        # lg(M/B) must be positive for the paper's bounds.
+        with pytest.raises(ValidationError):
+            DiskGeometry(N=1024, B=128, D=1, M=128)
+
+    def test_bd_equals_m_allowed(self):
+        g = DiskGeometry(N=2048, B=8, D=8, M=64)
+        assert g.stripes_per_memoryload == 1
+
+    def test_single_disk(self):
+        g = DiskGeometry(N=1024, B=4, D=1, M=64)
+        assert g.d == 0 and g.num_stripes == 256
+
+    def test_is_power_of_two(self):
+        assert is_power_of_two(1) and is_power_of_two(64)
+        assert not is_power_of_two(0) and not is_power_of_two(12)
+
+
+class TestDerivedQuantities:
+    def test_figure1_numbers(self):
+        g = DiskGeometry(**FIGURE1_GEOMETRY)
+        assert g.num_stripes == 4  # "the number of stripes is N/BD = 4"
+        assert g.num_blocks == 32
+        assert g.records_per_stripe == 16
+
+    def test_memoryloads(self):
+        g = DiskGeometry(N=4096, B=8, D=4, M=128)
+        assert g.num_memoryloads == 32
+        assert g.blocks_per_memoryload == 16
+        assert g.stripes_per_memoryload == 4
+        assert g.one_pass_ios == 2 * 128
+
+    def test_sections(self):
+        g = DiskGeometry(N=4096, B=8, D=4, M=128)
+        assert g.sections == (3, 4, 5)  # b, m-b, n-m
+
+    def test_describe(self):
+        g = DiskGeometry(N=4096, B=8, D=4, M=128)
+        assert "2^12" in g.describe()
+
+
+class TestFigure2Fields:
+    """The exact example of Figure 2: n=13, b=3, d=4, m=8, s=6."""
+
+    def setup_method(self):
+        self.g = DiskGeometry(**FIGURE2_GEOMETRY)
+
+    def test_parameters(self):
+        g = self.g
+        assert (g.n, g.b, g.d, g.m, g.s) == (13, 3, 4, 8, 6)
+
+    def test_field_extraction_scalar(self):
+        g = self.g
+        x = 0b1010110101101
+        assert g.offset(x) == x & 0b111
+        assert g.disk(x) == (x >> 3) & 0b1111
+        assert g.stripe(x) == x >> 7
+        assert g.memoryload(x) == x >> 8
+        assert g.relative_block(x) == (x >> 3) & 0b11111
+
+    def test_field_extraction_vectorized(self):
+        g = self.g
+        xs = np.arange(g.N, dtype=np.int64)
+        assert (g.offset(xs) == xs % 8).all()
+        assert (g.disk(xs) == (xs // 8) % 16).all()
+        assert (g.stripe(xs) == xs // 128).all()
+
+    def test_address_roundtrip(self):
+        g = self.g
+        for x in [0, 1, 127, 128, g.N - 1]:
+            assert g.address(g.stripe(x), g.disk(x), g.offset(x)) == x
+
+    def test_relative_block_spans_memoryload(self):
+        g = self.g
+        addrs = g.memoryload_addresses(3)
+        rel = g.relative_block(addrs)
+        assert rel.min() == 0 and rel.max() == g.blocks_per_memoryload - 1
+        assert (np.bincount(rel) == g.B).all()
+
+
+class TestBlockAlgebra:
+    def setup_method(self):
+        self.g = DiskGeometry(N=1024, B=8, D=4, M=128)
+
+    def test_block_of(self):
+        assert self.g.block_of(0) == 0
+        assert self.g.block_of(8) == 1
+        assert self.g.block_of(1023) == 127
+
+    def test_block_disk_matches_address_disk(self):
+        g = self.g
+        for x in [0, 8, 16, 100, 1000]:
+            assert g.block_disk(g.block_of(x)) == g.disk(x)
+
+    def test_block_stripe_matches_address_stripe(self):
+        g = self.g
+        for x in [0, 8, 100, 1023]:
+            assert g.block_stripe(g.block_of(x)) == g.stripe(x)
+
+    def test_block_start(self):
+        assert self.g.block_start(3) == 24
+
+    def test_stripe_blocks(self):
+        blocks = self.g.stripe_blocks(2)
+        assert list(blocks) == [8, 9, 10, 11]
+        assert (self.g.block_stripe(blocks) == 2).all()
+        assert sorted(self.g.block_disk(blocks)) == [0, 1, 2, 3]
+
+    def test_memoryload_stripes(self):
+        assert list(self.g.memoryload_stripes(1)) == [4, 5, 6, 7]
+
+    def test_memoryload_addresses(self):
+        addrs = self.g.memoryload_addresses(2)
+        assert addrs[0] == 256 and addrs[-1] == 383
+        assert (self.g.memoryload(addrs) == 2).all()

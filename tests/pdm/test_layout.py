@@ -1,0 +1,69 @@
+"""Figure 1 / Figure 2 rendering tests -- the paper's model diagrams."""
+
+import numpy as np
+
+from repro.pdm.geometry import DiskGeometry
+from repro.pdm.layout import figure1_table, render_figure1, render_figure2, render_portion
+from repro.pdm.system import ParallelDiskSystem
+
+from tests.conftest import FIGURE1_GEOMETRY, FIGURE2_GEOMETRY
+
+
+class TestFigure1:
+    """Exact reproduction of Figure 1 (N=64, B=2, D=8)."""
+
+    def setup_method(self):
+        self.g = DiskGeometry(**FIGURE1_GEOMETRY)
+
+    def test_table_matches_paper(self):
+        table = figure1_table(self.g)
+        # Paper: stripe 0 holds 0..15, disk 0 gets (0,1), disk 7 gets (14,15).
+        assert table.shape == (4, 8, 2)
+        assert table[0, 0].tolist() == [0, 1]
+        assert table[0, 7].tolist() == [14, 15]
+        assert table[1, 0].tolist() == [16, 17]
+        assert table[3, 7].tolist() == [62, 63]
+
+    def test_indices_vary_fastest_within_block(self):
+        table = figure1_table(self.g)
+        # within a block consecutive, among disks next, among stripes last
+        assert (np.diff(table, axis=2) == 1).all()
+
+    def test_render_contains_rows(self):
+        text = render_figure1(self.g)
+        assert "stripe  0" in text and "D7" in text
+        assert " 62 63" in text.replace("  ", " ")
+
+    def test_render_truncation(self):
+        text = render_figure1(self.g, max_stripes=2)
+        assert "more stripes" in text
+
+
+class TestFigure2:
+    def test_fields_described(self):
+        g = DiskGeometry(**FIGURE2_GEOMETRY)
+        text = render_figure2(g)
+        assert "n=13, b=3, d=4, m=8, s=6" in text
+        assert "offset" in text and "disk" in text and "stripe" in text
+        assert "memoryload number" in text and "relative block number" in text
+
+    def test_field_boundaries(self):
+        g = DiskGeometry(**FIGURE2_GEOMETRY)
+        lines = render_figure2(g).splitlines()
+        # x0..x2 offset, x3..x6 disk, x7.. stripe
+        assert "offset" in lines[2] and "offset" in lines[4]
+        assert "disk" in lines[5] and "disk" in lines[8]
+        assert "stripe" in lines[9]
+        # bit m=8 onward is the memoryload number
+        assert "memoryload" in lines[10]
+
+
+class TestRenderPortion:
+    def test_shows_payloads_and_empties(self):
+        g = DiskGeometry(N=64, B=2, D=8, M=32)
+        s = ParallelDiskSystem(g)
+        s.fill_identity(0)
+        text = render_portion(s, 0)
+        assert "stripe  0" in text
+        empty = render_portion(s, 1)
+        assert "." in empty

@@ -1,0 +1,55 @@
+"""Unit tests for the M-record memory accounting."""
+
+import pytest
+
+from repro.errors import MemoryCapacityError, ValidationError
+from repro.pdm.memory import Memory
+
+
+class TestMemory:
+    def test_allocate_release(self):
+        m = Memory(100)
+        m.allocate(60)
+        assert m.in_use == 60 and m.available == 40
+        m.release(10)
+        assert m.in_use == 50
+
+    def test_capacity_enforced(self):
+        m = Memory(100)
+        m.allocate(100)
+        with pytest.raises(MemoryCapacityError):
+            m.allocate(1)
+
+    def test_peak_tracked(self):
+        m = Memory(100)
+        m.allocate(70)
+        m.release(50)
+        m.allocate(30)
+        assert m.peak == 70
+
+    def test_over_release_rejected(self):
+        m = Memory(10)
+        m.allocate(5)
+        with pytest.raises(MemoryCapacityError):
+            m.release(6)
+
+    def test_negative_rejected(self):
+        m = Memory(10)
+        with pytest.raises(ValidationError):
+            m.allocate(-1)
+        with pytest.raises(ValidationError):
+            m.release(-1)
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValidationError):
+            Memory(0)
+
+    def test_require_empty(self):
+        m = Memory(10)
+        m.require_empty()
+        m.allocate(1)
+        with pytest.raises(MemoryCapacityError):
+            m.require_empty()
+
+    def test_repr(self):
+        assert "capacity=10" in repr(Memory(10))

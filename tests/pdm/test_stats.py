@@ -1,0 +1,77 @@
+"""Unit tests for IOStats counters, passes, and snapshots."""
+
+from repro.pdm.stats import IOStats
+
+
+class TestCounters:
+    def test_initial_zero(self):
+        s = IOStats()
+        assert s.parallel_ios == 0
+        assert s.blocks_read == 0
+
+    def test_read_accounting(self):
+        s = IOStats()
+        s.record_read(4, striped=True)
+        s.record_read(2, striped=False)
+        assert s.parallel_reads == 2
+        assert s.striped_reads == 1
+        assert s.independent_reads == 1
+        assert s.blocks_read == 6
+
+    def test_write_accounting(self):
+        s = IOStats()
+        s.record_write(4, striped=False)
+        assert s.parallel_writes == 1
+        assert s.independent_writes == 1
+        assert s.blocks_written == 4
+
+
+class TestPasses:
+    def test_pass_scoping(self):
+        s = IOStats()
+        s.record_read(1, striped=False)  # outside any pass
+        p = s.begin_pass("one")
+        s.record_read(4, striped=True)
+        s.record_write(4, striped=True)
+        s.end_pass()
+        s.record_write(1, striped=False)  # outside again
+        assert p.parallel_ios == 2
+        assert p.striped_reads == 1 and p.striped_writes == 1
+        assert s.parallel_ios == 4
+
+    def test_multiple_passes(self):
+        s = IOStats()
+        for label in ["a", "b", "c"]:
+            s.begin_pass(label)
+            s.record_read(2, striped=True)
+            s.end_pass()
+        assert [p.label for p in s.passes] == ["a", "b", "c"]
+        assert all(p.parallel_reads == 1 for p in s.passes)
+
+    def test_end_pass_returns_current(self):
+        s = IOStats()
+        p = s.begin_pass("x")
+        assert s.end_pass() is p
+        assert s.end_pass() is None
+
+
+class TestSnapshots:
+    def test_subtraction(self):
+        s = IOStats()
+        s.record_read(4, striped=True)
+        before = s.snapshot()
+        s.record_read(4, striped=True)
+        s.record_write(4, striped=False)
+        delta = s.snapshot() - before
+        assert delta.parallel_reads == 1
+        assert delta.parallel_writes == 1
+        assert delta.parallel_ios == 2
+        assert delta.blocks_read == 4
+
+    def test_summary_mentions_passes(self):
+        s = IOStats()
+        s.begin_pass("mrc")
+        s.record_read(2, striped=True)
+        s.end_pass()
+        text = s.summary()
+        assert "mrc" in text and "striped" in text

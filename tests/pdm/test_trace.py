@@ -1,0 +1,126 @@
+"""Tests for the I/O trace and schedule-quality analysis."""
+
+import numpy as np
+import pytest
+
+from repro.bits.random import random_mld_matrix, random_mrc_matrix
+from repro.core.mld_algorithm import perform_mld_pass
+from repro.core.mrc_algorithm import perform_mrc_pass
+from repro.pdm.geometry import DiskGeometry
+from repro.pdm.system import ParallelDiskSystem
+from repro.pdm.trace import IOTrace, render_timeline
+from repro.perms.bmmc import BMMCPermutation
+
+
+@pytest.fixture
+def geometry():
+    return DiskGeometry(N=2**10, B=2**3, D=2**2, M=2**6)
+
+
+def traced_system(geometry):
+    s = ParallelDiskSystem(geometry)
+    s.fill_identity(0)
+    return s, IOTrace(s)
+
+
+class TestRecording:
+    def test_records_ops_in_order(self, geometry):
+        s, trace = traced_system(geometry)
+        v = s.read_stripe(0, 0)
+        s.write_stripe(1, 0, v)
+        assert [r.kind for r in trace.records] == ["read", "write"]
+        assert trace.records[0].index == 0
+
+    def test_striped_flag(self, geometry):
+        s, trace = traced_system(geometry)
+        s.read_stripe(0, 0)
+        s.memory.release(geometry.records_per_stripe)
+        s.read_blocks(0, [4, 9])  # partial, cross-stripe
+        assert trace.records[0].striped
+        assert not trace.records[1].striped
+
+    def test_detach(self, geometry):
+        s, trace = traced_system(geometry)
+        trace.detach()
+        s.read_stripe(0, 0)
+        assert trace.records == []
+
+    def test_reads_writes_filters(self, geometry):
+        s, trace = traced_system(geometry)
+        v = s.read_stripe(0, 0)
+        s.write_stripe(1, 0, v)
+        assert len(trace.reads()) == 1 and len(trace.writes()) == 1
+
+
+class TestSummary:
+    def test_mrc_pass_is_fully_striped_and_efficient(self, geometry):
+        g = geometry
+        s, trace = traced_system(g)
+        perm = BMMCPermutation(random_mrc_matrix(g.n, g.m, np.random.default_rng(0)))
+        perform_mrc_pass(s, perm, 0, 1)
+        summary = trace.summary()
+        assert summary.striped_fraction == 1.0
+        assert summary.efficiency == 1.0
+        assert summary.average_parallelism == g.D
+        assert summary.parallel_ios == g.one_pass_ios
+
+    def test_mld_pass_half_striped_full_parallel(self, geometry):
+        """MLD: striped reads + independent writes, but every op still
+        moves D blocks (Section 3 property 3)."""
+        g = geometry
+        s, trace = traced_system(g)
+        perm = BMMCPermutation(random_mld_matrix(g.n, g.b, g.m, np.random.default_rng(1)))
+        perform_mld_pass(s, perm, 0, 1)
+        summary = trace.summary()
+        assert summary.efficiency == 1.0  # D blocks per op regardless
+        assert 0.0 < summary.striped_fraction <= 1.0
+        # reads all striped; writes generally not
+        assert all(r.striped for r in trace.reads())
+
+    def test_per_disk_balance(self, geometry):
+        g = geometry
+        s, trace = traced_system(g)
+        perm = BMMCPermutation(random_mrc_matrix(g.n, g.m, np.random.default_rng(2)))
+        perform_mrc_pass(s, perm, 0, 1)
+        summary = trace.summary()
+        assert summary.load_imbalance == 1.0  # perfectly even
+        assert all(v == summary.per_disk_blocks[0] for v in summary.per_disk_blocks)
+
+    def test_empty_trace(self, geometry):
+        s, trace = traced_system(geometry)
+        summary = trace.summary()
+        assert summary.parallel_ios == 0
+        assert summary.average_parallelism == 0.0
+
+    def test_table_text(self, geometry):
+        s, trace = traced_system(geometry)
+        v = s.read_stripe(0, 0)
+        s.write_stripe(1, 0, v)
+        text = trace.summary().table()
+        assert "parallel I/Os" in text and "efficiency" in text
+
+
+class TestTimeline:
+    def test_render_shows_all_disks(self, geometry):
+        s, trace = traced_system(geometry)
+        v = s.read_stripe(0, 0)
+        s.write_stripe(1, 0, v)
+        text = render_timeline(trace)
+        lines = text.splitlines()
+        assert len(lines) == 1 + geometry.D
+        assert lines[1].endswith("RW")
+
+    def test_partial_op_shows_idle_disks(self, geometry):
+        s, trace = traced_system(geometry)
+        s.read_blocks(0, [0])  # only disk 0
+        text = render_timeline(trace)
+        assert "disk  0 | R" in text
+        assert "disk  1 | ." in text
+
+    def test_truncation(self, geometry):
+        s, trace = traced_system(geometry)
+        for stripe in range(4):
+            v = s.read_stripe(0, stripe)
+            s.write_stripe(1, stripe, v)
+        text = render_timeline(trace, max_ops=3)
+        assert "first 3 of 8" in text

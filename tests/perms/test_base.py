@@ -1,0 +1,65 @@
+"""Unit tests for the permutation protocol and explicit permutations."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.perms.base import ExplicitPermutation, identity_permutation
+
+
+class TestExplicitPermutation:
+    def test_apply(self):
+        p = ExplicitPermutation(np.array([2, 0, 3, 1]))
+        assert p.apply(0) == 2 and p(3) == 1
+
+    def test_apply_array(self):
+        p = ExplicitPermutation(np.array([2, 0, 3, 1]))
+        assert list(p.apply_array(np.array([0, 1, 2, 3]))) == [2, 0, 3, 1]
+
+    def test_n_and_size(self):
+        p = ExplicitPermutation(np.arange(16))
+        assert p.n == 4 and p.N == 16
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValidationError):
+            ExplicitPermutation(np.arange(6))
+
+    def test_non_bijection_rejected(self):
+        with pytest.raises(ValidationError):
+            ExplicitPermutation(np.array([0, 0, 1, 2]))
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValidationError):
+            ExplicitPermutation(np.array([0, 1, 2, 4]))
+
+    def test_inverse(self):
+        rng = np.random.default_rng(0)
+        p = ExplicitPermutation(rng.permutation(64))
+        q = p.inverse()
+        xs = np.arange(64)
+        assert (q.apply_array(p.apply_array(xs)) == xs).all()
+
+    def test_compose_order(self):
+        """compose(Z, Y) applies Y first (paper's composition convention)."""
+        y = ExplicitPermutation(np.array([1, 2, 3, 0]))  # +1 mod 4
+        z = ExplicitPermutation(np.array([0, 2, 1, 3]))  # swap 1,2
+        zy = z.compose(y)
+        for x in range(4):
+            assert zy.apply(x) == z.apply(y.apply(x))
+
+    def test_identity(self):
+        p = identity_permutation(5)
+        assert p.is_identity() and p.N == 32
+
+    def test_non_identity(self):
+        assert not ExplicitPermutation(np.array([1, 0])).is_identity()
+
+    def test_compose_size_mismatch(self):
+        with pytest.raises(ValidationError):
+            identity_permutation(3).compose(identity_permutation(4))
+
+    def test_target_vector_copy(self):
+        p = ExplicitPermutation(np.arange(8))
+        tv = p.target_vector()
+        tv[0] = 7
+        assert p.apply(0) == 0

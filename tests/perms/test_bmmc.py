@@ -1,0 +1,154 @@
+"""Unit tests for BMMCPermutation: algebra, composition, fixed points."""
+
+import numpy as np
+import pytest
+
+from repro.bits.matrix import BitMatrix
+from repro.bits.random import random_bmmc_with_rank_gamma, random_nonsingular
+from repro.errors import SingularMatrixError, ValidationError
+from repro.perms.bmmc import BMMCPermutation
+
+
+class TestConstruction:
+    def test_singular_rejected(self):
+        with pytest.raises(SingularMatrixError):
+            BMMCPermutation(BitMatrix.zeros(4, 4))
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValidationError):
+            BMMCPermutation(BitMatrix.zeros(3, 4))
+
+    def test_complement_range_checked(self):
+        with pytest.raises(ValidationError):
+            BMMCPermutation(BitMatrix.identity(3), complement=8)
+
+    def test_validate_skip(self):
+        # validate=False must not blow up on a known-good matrix
+        BMMCPermutation(BitMatrix.identity(4), validate=False)
+
+
+class TestApplication:
+    def test_identity(self):
+        p = BMMCPermutation(BitMatrix.identity(5))
+        assert p.apply(13) == 13
+        assert p.is_identity()
+
+    def test_complement(self):
+        p = BMMCPermutation(BitMatrix.identity(5), complement=0b10101)
+        assert p.apply(0) == 0b10101
+        assert not p.is_identity()
+
+    def test_apply_is_bijection(self):
+        rng = np.random.default_rng(0)
+        p = BMMCPermutation(random_nonsingular(8, rng), 0b1100)
+        ys = p.apply_array(np.arange(256, dtype=np.uint64))
+        assert np.unique(np.asarray(ys)).size == 256
+
+    def test_scalar_matches_array(self):
+        rng = np.random.default_rng(1)
+        p = BMMCPermutation(random_nonsingular(7, rng), 0b101)
+        ys = p.apply_array(np.arange(128, dtype=np.uint64))
+        for x in [0, 1, 64, 127]:
+            assert p.apply(x) == int(ys[x])
+
+
+class TestCompositionLemma1:
+    """Lemma 1 / Corollary 2: matrix product characterizes composition."""
+
+    def test_matrix_of_composition(self):
+        rng = np.random.default_rng(2)
+        z = BMMCPermutation(random_nonsingular(6, rng))
+        y = BMMCPermutation(random_nonsingular(6, rng))
+        zy = z.compose(y)
+        assert zy.matrix == z.matrix @ y.matrix
+
+    def test_composition_with_complements(self):
+        rng = np.random.default_rng(3)
+        z = BMMCPermutation(random_nonsingular(6, rng), 0b110000)
+        y = BMMCPermutation(random_nonsingular(6, rng), 0b000111)
+        zy = z.compose(y)
+        xs = np.arange(64, dtype=np.uint64)
+        assert (zy.apply_array(xs) == z.apply_array(y.apply_array(xs))).all()
+
+    def test_corollary2_factored_order(self):
+        """Performing factors right to left realizes the product matrix."""
+        rng = np.random.default_rng(4)
+        a1 = BMMCPermutation(random_nonsingular(6, rng))
+        a2 = BMMCPermutation(random_nonsingular(6, rng))
+        a3 = BMMCPermutation(random_nonsingular(6, rng))
+        product = BMMCPermutation(a3.matrix @ a2.matrix @ a1.matrix)
+        xs = np.arange(64, dtype=np.uint64)
+        staged = a3.apply_array(a2.apply_array(a1.apply_array(xs)))
+        assert (product.apply_array(xs) == staged).all()
+
+    def test_compose_with_explicit_falls_back(self):
+        from repro.perms.base import ExplicitPermutation
+
+        rng = np.random.default_rng(5)
+        b = BMMCPermutation(random_nonsingular(4, rng))
+        e = ExplicitPermutation(np.random.default_rng(0).permutation(16))
+        be = b.compose(e)
+        for x in range(16):
+            assert be.apply(x) == b.apply(e.apply(x))
+
+
+class TestInverse:
+    def test_round_trip(self):
+        rng = np.random.default_rng(6)
+        p = BMMCPermutation(random_nonsingular(8, rng), 0b10011010)
+        assert p.inverse().compose(p).is_identity()
+        assert p.compose(p.inverse()).is_identity()
+
+
+class TestPaperQuantities:
+    def test_gamma_shape(self):
+        rng = np.random.default_rng(7)
+        p = BMMCPermutation(random_nonsingular(10, rng))
+        assert p.gamma(3).shape == (7, 3)
+
+    def test_rank_gamma_prescribed(self):
+        rng = np.random.default_rng(8)
+        for r in range(4):
+            a = random_bmmc_with_rank_gamma(10, 3, r, rng)
+            assert BMMCPermutation(a).rank_gamma(3) == r
+
+    def test_leading_rank(self):
+        p = BMMCPermutation(BitMatrix.identity(8))
+        assert p.leading_rank(5) == 5
+
+    def test_is_bpc(self):
+        assert BMMCPermutation(BitMatrix.permutation([1, 0, 2])).is_bpc()
+        a = BitMatrix.identity(3).with_entry(0, 1, 1)
+        assert not BMMCPermutation(a).is_bpc()
+
+
+class TestFixedPointsLemma9:
+    """The counting behind Lemma 9: |Pre(A xor I, c)| fixed points."""
+
+    def test_identity_fixes_all(self):
+        p = BMMCPermutation(BitMatrix.identity(5))
+        assert p.fixed_point_count() == 32
+
+    def test_pure_complement_fixes_none(self):
+        p = BMMCPermutation(BitMatrix.identity(5), complement=1)
+        assert p.fixed_point_count() == 0
+
+    def test_lemma9_at_most_half(self):
+        """Any non-identity BMMC permutation fixes at most N/2 addresses."""
+        rng = np.random.default_rng(9)
+        for seed in range(20):
+            a = random_nonsingular(6, np.random.default_rng(seed))
+            c = int(rng.integers(0, 64))
+            p = BMMCPermutation(a, c)
+            if p.is_identity():
+                continue
+            assert p.fixed_point_count() <= 32
+
+    def test_count_matches_brute_force(self):
+        rng = np.random.default_rng(10)
+        for seed in range(10):
+            a = random_nonsingular(5, np.random.default_rng(seed + 100))
+            c = int(rng.integers(0, 32))
+            p = BMMCPermutation(a, c)
+            brute = sum(1 for x in range(32) if p.apply(x) == x)
+            assert p.fixed_point_count() == brute

@@ -1,0 +1,95 @@
+"""Unit tests for BPC permutations and cross-ranks (eqs. 2-3)."""
+
+import numpy as np
+import pytest
+
+from repro.bits.matrix import BitMatrix
+from repro.bits.random import random_bit_permutation
+from repro.errors import ValidationError
+from repro.perms.bpc import BPCPermutation, cross_rank, k_cross_rank
+from repro.perms.library import bit_reversal, matrix_transpose
+
+
+class TestBPCPermutation:
+    def test_bit_routing(self):
+        p = BPCPermutation([2, 0, 1])  # bit0->bit2, bit1->bit0, bit2->bit1
+        assert p.apply(0b001) == 0b100
+        assert p.apply(0b010) == 0b001
+        assert p.apply(0b100) == 0b010
+
+    def test_complement_applied_after(self):
+        p = BPCPermutation([1, 0], complement=0b11)
+        assert p.apply(0b01) == 0b10 ^ 0b11
+
+    def test_matrix_is_permutation(self):
+        p = BPCPermutation([3, 1, 0, 2])
+        assert p.matrix.is_permutation_matrix
+
+    def test_from_matrix_roundtrip(self):
+        rng = np.random.default_rng(0)
+        m = random_bit_permutation(7, rng)
+        p = BPCPermutation.from_matrix(m, complement=5)
+        assert p.matrix == m and p.complement == 5
+
+    def test_from_matrix_rejects_non_permutation(self):
+        with pytest.raises(ValidationError):
+            BPCPermutation.from_matrix(BitMatrix.identity(3).with_entry(0, 1, 1))
+
+    def test_scalar_matches_array(self):
+        p = BPCPermutation([4, 3, 2, 1, 0], complement=0b10101)
+        ys = p.apply_array(np.arange(32, dtype=np.uint64))
+        for x in range(32):
+            assert p.apply(x) == int(ys[x])
+
+    def test_inverse_is_bpc(self):
+        p = BPCPermutation([2, 4, 0, 1, 3], complement=0b01101)
+        q = p.inverse()
+        assert isinstance(q, BPCPermutation)
+        assert q.compose(p).is_identity()
+
+
+class TestCrossRank:
+    def test_identity_zero(self):
+        eye = BitMatrix.identity(8)
+        assert k_cross_rank(eye, 3) == 0
+        assert cross_rank(eye, 3, 5) == 0
+
+    def test_bit_reversal_cross_rank(self):
+        """Bit reversal moves min(k, n-k) bits across boundary k."""
+        m = bit_reversal(8).matrix
+        for k in range(9):
+            assert k_cross_rank(m, k) == min(k, 8 - k)
+
+    def test_transpose_cross_rank(self):
+        """A square-matrix transpose rotates bits by n/2: every bit below
+        the midpoint crosses it."""
+        m = matrix_transpose(4, 4).matrix
+        assert k_cross_rank(m, 4) == 4
+
+    def test_symmetry_on_permutation_matrices(self):
+        """Eq. 2: rank A[k:, :k] = rank A[:k, k:] for permutation matrices."""
+        from repro.bits import linalg
+
+        rng = np.random.default_rng(1)
+        for _ in range(10):
+            m = random_bit_permutation(9, rng)
+            for k in [2, 4, 7]:
+                assert linalg.rank(m[k:9, 0:k]) == linalg.rank(m[0:k, k:9])
+
+    def test_counts_crossing_bits(self):
+        # explicit: bits 0,1 -> 5,6 and the rest shuffled below.
+        p = BPCPermutation([5, 6, 0, 1, 2, 3, 4])
+        assert k_cross_rank(p.matrix, 5) == 2
+
+    def test_method_form(self):
+        p = BPCPermutation([5, 6, 0, 1, 2, 3, 4])
+        assert p.cross_rank(b=2, m=5) == max(k_cross_rank(p.matrix, 2), 2)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValidationError):
+            k_cross_rank(BitMatrix.identity(4), 5)
+
+    def test_boundary_values(self):
+        m = bit_reversal(6).matrix
+        assert k_cross_rank(m, 0) == 0
+        assert k_cross_rank(m, 6) == 0

@@ -1,0 +1,117 @@
+"""Unit tests for classification and target-vector fitting."""
+
+import numpy as np
+import pytest
+
+from repro.bits.random import (
+    random_bit_permutation,
+    random_bmmc_matrix,
+    random_mld_matrix,
+    random_mrc_matrix,
+)
+from repro.errors import ValidationError
+from repro.pdm.geometry import DiskGeometry
+from repro.perms.base import ExplicitPermutation, identity_permutation
+from repro.perms.bmmc import BMMCPermutation
+from repro.perms.classify import PermClass, classify, classify_matrix, fit_bmmc
+from repro.perms.library import gray_code, bit_reversal
+
+
+@pytest.fixture
+def geometry():
+    return DiskGeometry(N=1024, B=8, D=4, M=128)  # n=10 b=3 d=2 m=7
+
+
+class TestClassifyMatrix:
+    def test_identity(self, geometry):
+        from repro.bits.matrix import BitMatrix
+
+        labels = classify_matrix(BitMatrix.identity(10), 0, geometry)
+        assert PermClass.IDENTITY in labels
+        assert PermClass.MRC in labels  # identity is trivially MRC too
+
+    def test_mrc_labelled_mld_too(self, geometry):
+        a = random_mrc_matrix(10, 7, np.random.default_rng(0))
+        labels = classify_matrix(a, 0, geometry)
+        assert PermClass.MRC in labels and PermClass.MLD in labels
+
+    def test_mld_not_mrc(self, geometry):
+        rng = np.random.default_rng(1)
+        for _ in range(50):
+            a = random_mld_matrix(10, 3, 7, rng)
+            labels = classify_matrix(a, 0, geometry)
+            assert PermClass.MLD in labels
+            if PermClass.MRC not in labels:
+                return
+        pytest.skip("all sampled MLD matrices happened to be MRC")
+
+    def test_bpc(self, geometry):
+        a = random_bit_permutation(10, np.random.default_rng(2))
+        assert PermClass.BPC in classify_matrix(a, 0, geometry)
+
+    def test_generic_bmmc_only(self, geometry):
+        rng = np.random.default_rng(3)
+        for _ in range(50):
+            a = random_bmmc_matrix(10, rng)
+            labels = classify_matrix(a, 0, geometry)
+            if labels == {PermClass.BMMC}:
+                return
+        pytest.skip("all sampled matrices fell into subclasses")
+
+
+class TestClassifyPermutation:
+    def test_bmmc_object(self, geometry):
+        labels = classify(gray_code(10), geometry)
+        assert PermClass.MRC in labels
+
+    def test_explicit_bmmc_vector(self, geometry):
+        perm = bit_reversal(10)
+        explicit = ExplicitPermutation(perm.target_vector())
+        labels = classify(explicit, geometry)
+        assert PermClass.BPC in labels
+
+    def test_explicit_random_vector(self, geometry):
+        tv = np.random.default_rng(4).permutation(1024)
+        labels = classify(ExplicitPermutation(tv), geometry)
+        assert labels == {PermClass.NON_BMMC}
+
+    def test_explicit_identity(self, geometry):
+        labels = classify(identity_permutation(10), geometry)
+        assert PermClass.IDENTITY in labels
+
+    def test_size_mismatch_rejected(self, geometry):
+        with pytest.raises(ValidationError):
+            classify(gray_code(9), geometry)
+
+
+class TestFitBMMC:
+    def test_roundtrip(self):
+        rng = np.random.default_rng(5)
+        a = random_bmmc_matrix(9, rng)
+        perm = BMMCPermutation(a, 0b101100111)
+        fitted = fit_bmmc(perm.target_vector())
+        assert fitted is not None
+        assert fitted[0] == a and fitted[1] == 0b101100111
+
+    def test_rejects_single_swap(self):
+        perm = gray_code(8)
+        tv = perm.target_vector()
+        tv[[10, 20]] = tv[[20, 10]]
+        assert fit_bmmc(tv) is None
+
+    def test_rejects_random(self):
+        tv = np.random.default_rng(6).permutation(256)
+        assert fit_bmmc(tv) is None
+
+    def test_rejects_non_power_of_two(self):
+        assert fit_bmmc(np.arange(48)) is None
+
+    def test_candidate_matches_on_probes_but_fails_verification(self):
+        """A vector agreeing with a BMMC map on 0 and all unit vectors but
+        not globally must be rejected -- verification is essential."""
+        perm = gray_code(6)
+        tv = perm.target_vector()
+        # tamper with an address that is neither 0 nor a power of two
+        a, b = 27, 45
+        tv[[a, b]] = tv[[b, a]]
+        assert fit_bmmc(tv) is None

@@ -1,0 +1,118 @@
+"""Theorems 17 and 18: closure laws of MRC and MLD under composition.
+
+These are the structural results Section 5's pass-merging rests on; we
+check them as universally-quantified properties over random instances,
+plus the paper's explicit counterexamples.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bits import linalg
+from repro.bits.colops import is_mld_form, is_mrc_form
+from repro.bits.matrix import BitMatrix
+from repro.bits.random import random_mld_matrix, random_mrc_matrix
+
+
+N_, B_, M_ = 9, 2, 5  # n=9, b=2, m=5 for the fixed-size tests
+
+
+class TestTheorem18MRCClosure:
+    """MRC is closed under composition and inverse."""
+
+    @given(st.integers(0, 2**31), st.integers(0, 2**31))
+    @settings(max_examples=50, deadline=None)
+    def test_composition(self, seed1, seed2):
+        a1 = random_mrc_matrix(N_, M_, np.random.default_rng(seed1))
+        a2 = random_mrc_matrix(N_, M_, np.random.default_rng(seed2))
+        assert is_mrc_form(a1 @ a2, M_)
+
+    @given(st.integers(0, 2**31))
+    @settings(max_examples=50, deadline=None)
+    def test_inverse(self, seed):
+        a = random_mrc_matrix(N_, M_, np.random.default_rng(seed))
+        assert is_mrc_form(linalg.inverse(a), M_)
+
+    def test_inverse_block_structure(self):
+        """The proof's explicit form: inv has alpha^-1 and delta^-1 blocks."""
+        a = random_mrc_matrix(8, 5, np.random.default_rng(7))
+        ai = linalg.inverse(a)
+        assert ai[0:5, 0:5] == linalg.inverse(a[0:5, 0:5])
+        assert ai[5:8, 5:8] == linalg.inverse(a[5:8, 5:8])
+
+
+class TestTheorem17MLDComposeMRC:
+    """(MLD matrix) @ (MRC matrix) characterizes an MLD permutation."""
+
+    @given(st.integers(0, 2**31), st.integers(0, 2**31))
+    @settings(max_examples=50, deadline=None)
+    def test_product_is_mld(self, seed1, seed2):
+        y = random_mld_matrix(N_, B_, M_, np.random.default_rng(seed1))
+        x = random_mrc_matrix(N_, M_, np.random.default_rng(seed2))
+        assert is_mld_form(y @ x, B_, M_)
+
+    @given(st.integers(0, 2**31), st.integers(0, 2**31))
+    @settings(max_examples=30, deadline=None)
+    def test_various_gamma_ranks(self, seed1, seed2):
+        rng = np.random.default_rng(seed1)
+        gr = int(rng.integers(0, min(M_ - B_, N_ - M_) + 1))
+        y = random_mld_matrix(N_, B_, M_, rng, gamma_rank=gr)
+        x = random_mrc_matrix(N_, M_, np.random.default_rng(seed2))
+        assert is_mld_form(y @ x, B_, M_)
+
+
+class TestPaperCounterexamples:
+    def test_mrc_compose_mld_not_necessarily_mld(self):
+        """The explicit 3x3 product from Section 3 (b = m-b = n-m = 1)."""
+        mrc = BitMatrix.from_rows([[0, 1, 0], [1, 0, 0], [0, 0, 1]])
+        mld = BitMatrix.from_rows([[1, 0, 0], [0, 1, 0], [0, 1, 1]])
+        b, m = 1, 2
+        assert is_mrc_form(mrc, m)
+        assert is_mld_form(mld, b, m)
+        product = mrc @ mld
+        assert product == BitMatrix.from_rows([[0, 1, 0], [1, 0, 0], [0, 1, 1]])
+        assert not is_mld_form(product, b, m)
+        # the witness: x = (0, 1) kernel vector of mu not killed by gamma
+        mu = product[b:m, 0:m]
+        gamma = product[m:3, 0:m]
+        witness = 0b10  # x0=0, x1=1
+        assert mu.mulvec(witness) == 0
+        assert gamma.mulvec(witness) != 0
+
+    def test_mld_compose_mld_not_necessarily_mld(self):
+        """Section 3: MLD is *not* closed under composition.  Search for a
+        witness pair; the rank argument (Lemma 16) guarantees failures
+        exist because rank(gamma of product) can exceed m - b."""
+        rng = np.random.default_rng(0)
+        for _ in range(400):
+            y1 = random_mld_matrix(N_, B_, M_, rng)
+            y2 = random_mld_matrix(N_, B_, M_, rng)
+            if not is_mld_form(y1 @ y2, B_, M_):
+                return
+        pytest.fail("no MLD @ MLD counterexample found in 400 samples")
+
+    def test_inverse_of_mld_not_necessarily_mld(self):
+        rng = np.random.default_rng(1)
+        for _ in range(400):
+            y = random_mld_matrix(N_, B_, M_, rng)
+            if not is_mld_form(linalg.inverse(y), B_, M_):
+                return
+        pytest.fail("no MLD-inverse counterexample found in 400 samples")
+
+
+class TestErasureFactsFromSection4:
+    def test_erasure_is_mld_and_involution(self):
+        from repro.bits.colops import erasure_matrix
+
+        e = erasure_matrix(N_, B_, M_, [(5, 2), (6, 3), (8, 4), (7, 2)])
+        assert is_mld_form(e, B_, M_)
+        assert (e @ e).is_identity
+
+    def test_trailer_reducer_product_is_mrc(self):
+        from repro.bits.colops import reducer_matrix, trailer_matrix
+
+        t = trailer_matrix(N_, B_, M_, [(0, 6), (3, 7)])
+        r = reducer_matrix(N_, B_, M_, [(0, 3), (1, 4)])
+        assert is_mrc_form(t @ r, M_)

@@ -1,0 +1,165 @@
+"""Unit tests for the named-permutation library against first-principles math."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.perms.library import (
+    bit_reversal,
+    complement_permutation,
+    field_exchange,
+    gray_code,
+    gray_code_inverse,
+    hypercube_exchange,
+    matrix_transpose,
+    perfect_shuffle,
+    permuted_gray_code,
+    vector_reversal,
+)
+
+
+class TestMatrixTranspose:
+    @pytest.mark.parametrize("lg_r,lg_s", [(3, 3), (2, 5), (5, 2), (1, 6)])
+    def test_element_mapping(self, lg_r, lg_s):
+        r, s = 1 << lg_r, 1 << lg_s
+        t = matrix_transpose(lg_r, lg_s)
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            i, j = int(rng.integers(0, r)), int(rng.integers(0, s))
+            assert t.apply(i + r * j) == j + s * i
+
+    def test_involution_when_square(self):
+        t = matrix_transpose(4, 4)
+        assert t.compose(t).is_identity()
+
+    def test_inverse_is_reverse_transpose(self):
+        t = matrix_transpose(2, 5)
+        u = matrix_transpose(5, 2)
+        assert u.compose(t).is_identity()
+
+    def test_full_transpose_via_numpy(self):
+        lg_r, lg_s = 3, 4
+        r, s = 8, 16
+        t = matrix_transpose(lg_r, lg_s)
+        flat = np.arange(r * s)
+        mat = flat.reshape(s, r).T  # column-major R x S matrix
+        transposed_positions = t.apply_array(flat.astype(np.uint64))
+        # element at (i, j) must land at j + s*i
+        for x in range(r * s):
+            i, j = x % r, x // r
+            assert transposed_positions[x] == j + s * i
+            assert mat[i, j] == x
+
+
+class TestBitReversal:
+    def test_small_cases(self):
+        br = bit_reversal(3)
+        mapping = [br.apply(x) for x in range(8)]
+        assert mapping == [0, 4, 2, 6, 1, 5, 3, 7]  # classic FFT ordering
+
+    def test_involution(self):
+        br = bit_reversal(7)
+        assert br.compose(br).is_identity()
+
+
+class TestVectorReversal:
+    def test_reverses(self):
+        vr = vector_reversal(5)
+        xs = np.arange(32, dtype=np.uint64)
+        assert (vr.apply_array(xs) == 31 - xs.astype(np.int64)).all()
+
+    def test_is_complement(self):
+        vr = vector_reversal(4)
+        assert vr.matrix.is_identity and vr.complement == 15
+
+
+class TestHypercube:
+    def test_single_dimension(self):
+        h = hypercube_exchange(5, 1 << 3)
+        assert h.apply(0) == 8 and h.apply(8) == 0
+
+    def test_mask_validation(self):
+        with pytest.raises(ValidationError):
+            hypercube_exchange(3, 8)
+
+
+class TestGrayCode:
+    def test_matches_closed_form(self):
+        gc = gray_code(10)
+        xs = np.arange(1024, dtype=np.uint64)
+        assert (gc.apply_array(xs) == (xs ^ (xs >> np.uint64(1)))).all()
+
+    def test_consecutive_codes_differ_by_one_bit(self):
+        gc = gray_code(8)
+        codes = np.asarray(gc.apply_array(np.arange(256, dtype=np.uint64)))
+        diffs = codes[1:] ^ codes[:-1]
+        assert all(int(d).bit_count() == 1 for d in diffs)
+
+    def test_inverse_constructor_matches_algebraic_inverse(self):
+        n = 9
+        assert gray_code_inverse(n).matrix == gray_code(n).inverse().matrix
+
+    def test_inverse_composes_to_identity(self):
+        n = 8
+        assert gray_code_inverse(n).compose(gray_code(n)).is_identity()
+
+    def test_unit_upper_triangular(self):
+        a = gray_code(6).matrix.to_array()
+        assert (np.tril(a, -1) == 0).all()
+        assert (np.diag(a) == 1).all()
+
+
+class TestShuffleAndFields:
+    def test_perfect_shuffle_doubles_mod(self):
+        """Left bit-rotation sends x to 2x mod (N-1) (fixing N-1)."""
+        sh = perfect_shuffle(5)
+        for x in range(31):
+            assert sh.apply(x) == (2 * x) % 31
+        assert sh.apply(31) == 31
+
+    def test_shuffle_inverse(self):
+        sh = perfect_shuffle(6, 2)
+        un = perfect_shuffle(6, -2)
+        assert un.compose(sh).is_identity()
+
+    def test_field_exchange(self):
+        fe = field_exchange(6, 2, 2, offset=1)
+        # bits 1,2 swap with bits 3,4; bits 0,5 fixed.
+        x = 0b000110  # bits 1,2 set
+        assert fe.apply(x) == 0b011000
+
+    def test_field_exchange_involution_when_equal_widths(self):
+        fe = field_exchange(8, 3, 3, offset=1)
+        assert fe.compose(fe).is_identity()
+
+    def test_field_exchange_bounds(self):
+        with pytest.raises(ValidationError):
+            field_exchange(4, 3, 3)
+
+
+class TestComplementAndPermutedGray:
+    def test_complement(self):
+        cp = complement_permutation(4, 0b1010)
+        assert cp.apply(0) == 0b1010
+
+    def test_permuted_gray_code_is_conjugate(self):
+        """Pi G Pi^T applied = permute bits, gray-code, unpermute."""
+        from repro.bits.matrix import BitMatrix
+
+        n = 6
+        targets = [3, 0, 5, 1, 4, 2]
+        pg = permuted_gray_code(n, targets)
+        pi = BitMatrix.permutation(targets)
+        g = gray_code(n).matrix
+        xs = np.arange(64, dtype=np.uint64)
+        from repro.bits.bitops import apply_affine
+
+        manual = apply_affine(pi, 0, apply_affine(g, 0, apply_affine(pi.T, 0, xs)))
+        assert (pg.apply_array(xs) == manual).all()
+
+    def test_permuted_gray_code_generally_not_mrc(self):
+        from repro.perms.mrc import is_mrc
+
+        # reversal permutation turns the upper-triangular G lower-triangular
+        pg = permuted_gray_code(6, [5, 4, 3, 2, 1, 0])
+        assert not is_mrc(pg, 3)

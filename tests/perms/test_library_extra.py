@@ -1,0 +1,110 @@
+"""Tests for the extended permutation library (Z-order, reblocking)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.perms.library import matrix_reblocking, z_order, z_order_inverse
+
+
+class TestZOrder:
+    def test_interleaving_explicit(self):
+        z = z_order(6)
+        # i = 0b101 (bits 0..2), j = 0b011 (bits 3..5)
+        # morton: bits of i at even positions, j at odd:
+        # i bits (1,0,1) -> positions 0,2,4 ; j bits (1,1,0) -> 1,3,5
+        x = 0b011_101
+        expected = (1 << 0) | (0 << 2) | (1 << 4) | (1 << 1) | (1 << 3) | (0 << 5)
+        assert z.apply(x) == expected
+
+    def test_matches_reference_morton(self):
+        z = z_order(8)
+        for i in range(16):
+            for j in range(16):
+                x = i | (j << 4)
+                morton = 0
+                for k in range(4):
+                    morton |= ((i >> k) & 1) << (2 * k)
+                    morton |= ((j >> k) & 1) << (2 * k + 1)
+                assert z.apply(x) == morton
+
+    def test_locality_property(self):
+        """Adjacent 2x2 quads of (i, j) space are contiguous in Z order."""
+        z = z_order(8)
+        for base_i in range(0, 16, 2):
+            for base_j in range(0, 16, 2):
+                quad = sorted(
+                    z.apply((base_i + di) | ((base_j + dj) << 4))
+                    for di in (0, 1)
+                    for dj in (0, 1)
+                )
+                assert quad[3] - quad[0] == 3  # 4 consecutive addresses
+
+    def test_inverse(self):
+        z = z_order(10)
+        assert z_order_inverse(10).compose(z).is_identity()
+
+    def test_odd_width_rejected(self):
+        with pytest.raises(ValidationError):
+            z_order(7)
+
+    def test_is_bpc(self):
+        assert z_order(6).matrix.is_permutation_matrix
+
+
+class TestMatrixReblocking:
+    def test_identity_when_tiles_are_columns(self):
+        """T = R, U = 1 tiles reproduce the column-major layout exactly."""
+        rb = matrix_reblocking(3, 5, 3, 0)
+        assert rb.is_identity()
+
+    def test_bijection(self):
+        rb = matrix_reblocking(4, 5, 2, 3)
+        tv = rb.target_vector()
+        assert np.unique(tv).size == tv.size
+
+    def test_tiles_become_contiguous(self):
+        """Every T x U tile of the matrix occupies one contiguous run of
+        T*U addresses in the target layout."""
+        lg_r, lg_s, t, u = 4, 4, 2, 2
+        r_dim = 1 << lg_r
+        rb = matrix_reblocking(lg_r, lg_s, t, u)
+        tile_size = 1 << (t + u)
+        for tile_i in range(0, r_dim, 1 << t):
+            for tile_j in range(0, 1 << lg_s, 1 << u):
+                addrs = sorted(
+                    rb.apply((tile_i + di) + r_dim * (tile_j + dj))
+                    for di in range(1 << t)
+                    for dj in range(1 << u)
+                )
+                assert addrs[-1] - addrs[0] == tile_size - 1
+                assert addrs[0] % tile_size == 0
+
+    def test_column_major_within_tile(self):
+        lg_r, lg_s, t, u = 3, 3, 2, 1
+        r_dim = 1 << lg_r
+        rb = matrix_reblocking(lg_r, lg_s, t, u)
+        # element (i, j) inside tile (0, 0): target = i + T*j
+        for i in range(1 << t):
+            for j in range(1 << u):
+                assert rb.apply(i + r_dim * j) == i + (1 << t) * j
+
+    def test_roundtrip_via_inverse(self):
+        rb = matrix_reblocking(4, 5, 2, 3)
+        assert rb.inverse().compose(rb).is_identity()
+
+    def test_tile_validation(self):
+        with pytest.raises(ValidationError):
+            matrix_reblocking(3, 3, 4, 1)
+
+    def test_runs_on_simulator(self):
+        from repro.core.runner import perform_permutation
+        from repro.pdm.geometry import DiskGeometry
+        from repro.pdm.system import ParallelDiskSystem
+
+        g = DiskGeometry(N=2**10, B=2**2, D=2**1, M=2**6)
+        for perm in [z_order(g.n), matrix_reblocking(5, 5, 2, 3)]:
+            s = ParallelDiskSystem(g)
+            s.fill_identity(0)
+            report = perform_permutation(s, perm)
+            assert report.verified

@@ -1,0 +1,120 @@
+"""Unit tests for MRC and MLD class predicates and helper structure."""
+
+import numpy as np
+import pytest
+
+from repro.bits import linalg
+from repro.bits.matrix import BitMatrix
+from repro.bits.random import random_mld_matrix, random_mrc_matrix, random_nonsingular
+from repro.errors import NotInClassError
+from repro.perms.bmmc import BMMCPermutation
+from repro.perms.library import gray_code, gray_code_inverse
+from repro.perms.mld import is_mld, kernel_condition_holds, mld_block_structure, require_mld
+from repro.perms.mrc import is_mrc, memoryload_mapping, require_mrc
+
+
+class TestMRCPredicate:
+    def test_random_mrc(self):
+        rng = np.random.default_rng(0)
+        a = random_mrc_matrix(10, 6, rng)
+        assert is_mrc(a, 6)
+        assert is_mrc(BMMCPermutation(a), 6)
+
+    def test_gray_codes_are_mrc(self):
+        """Section 1: the Gray code and its inverse are MRC for any m."""
+        for n in [6, 9, 12]:
+            for m in range(1, n):
+                assert is_mrc(gray_code(n), m)
+                assert is_mrc(gray_code_inverse(n), m)
+
+    def test_nonzero_lower_left_rejected(self):
+        a = BitMatrix.identity(8).with_entry(7, 0, 1)
+        assert not is_mrc(a, 5)
+
+    def test_require_mrc_raises(self):
+        a = BitMatrix.identity(8).with_entry(7, 0, 1)
+        with pytest.raises(NotInClassError):
+            require_mrc(BMMCPermutation(a), 5)
+
+    def test_identity_is_mrc(self):
+        assert is_mrc(BitMatrix.identity(6), 3)
+
+
+class TestMemoryloadMapping:
+    def test_mapping_matches_full_permutation(self):
+        rng = np.random.default_rng(1)
+        n, m = 9, 5
+        a = random_mrc_matrix(n, m, rng)
+        perm = BMMCPermutation(a, complement=0b101101101)
+        ml_map = memoryload_mapping(perm, m)
+        for ml in range(1 << (n - m)):
+            some_address = ml << m  # first record of the memoryload
+            assert perm.apply(some_address) >> m == ml_map.apply(ml)
+
+    def test_mapping_is_bijection_on_memoryloads(self):
+        rng = np.random.default_rng(2)
+        a = random_mrc_matrix(8, 5, rng)
+        ml_map = memoryload_mapping(BMMCPermutation(a), 5)
+        images = {ml_map.apply(ml) for ml in range(8)}
+        assert images == set(range(8))
+
+
+class TestMLDPredicate:
+    def test_random_mld(self):
+        rng = np.random.default_rng(3)
+        a = random_mld_matrix(10, 2, 6, rng)
+        assert is_mld(a, 2, 6)
+        assert is_mld(BMMCPermutation(a), 2, 6)
+
+    def test_kernel_condition_procedure(self):
+        """Section 6's check: basis of ker(mu) has exactly b vectors, all
+        killed by gamma."""
+        rng = np.random.default_rng(4)
+        a = random_mld_matrix(10, 2, 6, rng)
+        mu, gamma = mld_block_structure(a, 2, 6)
+        basis = linalg.kernel_basis(mu)
+        assert basis.num_cols == 2
+        assert (gamma @ basis).is_zero
+        assert kernel_condition_holds(a, 2, 6)
+
+    def test_rank_deficient_mu_rejected(self):
+        """dim(ker mu) > b means the matrix cannot be MLD."""
+        rng = np.random.default_rng(5)
+        # Build a nonsingular matrix whose mu band has low rank.
+        for _ in range(200):
+            a = random_nonsingular(8, rng)
+            mu = a[2:5, 0:5]
+            if linalg.rank(mu) < 3:
+                assert not kernel_condition_holds(a, 2, 5)
+                return
+        pytest.skip("no rank-deficient sample drawn")
+
+    def test_singular_matrix_not_mld(self):
+        assert not is_mld(BitMatrix.zeros(6, 6), 1, 3)
+
+    def test_mrc_is_always_mld(self):
+        """End of Section 3: any MRC permutation is an MLD permutation."""
+        rng = np.random.default_rng(6)
+        for _ in range(10):
+            a = random_mrc_matrix(9, 5, rng)
+            assert is_mld(a, 2, 5)
+
+    def test_require_mld_raises(self):
+        # The paper's counterexample product is not MLD (b=1, m=2, n=3).
+        product = BitMatrix.from_rows([[0, 1, 0], [1, 0, 0], [0, 1, 1]])
+        with pytest.raises(NotInClassError):
+            require_mld(BMMCPermutation(product), 1, 2)
+
+    def test_lemma16_violation_implies_not_mld(self):
+        """If rank gamma_m > m - b the matrix cannot be MLD (Lemma 16)."""
+        rng = np.random.default_rng(7)
+        found = 0
+        for _ in range(300):
+            a = random_nonsingular(9, rng)
+            gamma_m = a[5:9, 0:5]
+            if linalg.rank(gamma_m) > 5 - 2:
+                assert not is_mld(a, 2, 5)
+                found += 1
+                if found >= 5:
+                    break
+        assert found > 0

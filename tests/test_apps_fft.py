@@ -1,0 +1,97 @@
+"""Tests for the out-of-core FFT application."""
+
+import numpy as np
+import pytest
+
+from repro.apps.fft import _layout_for_superlevel, out_of_core_fft
+from repro.errors import ValidationError
+from repro.pdm.geometry import DiskGeometry
+
+
+def reference_error(geometry, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal(geometry.N) + 1j * rng.standard_normal(geometry.N)
+    result = out_of_core_fft(x, geometry)
+    return result, np.max(np.abs(result.values - np.fft.fft(x)))
+
+
+class TestCorrectness:
+    def test_matches_numpy_two_superlevels(self):
+        g = DiskGeometry(N=2**10, B=2**2, D=2**1, M=2**5)
+        result, err = reference_error(g)
+        assert result.superlevels == 2
+        assert err < 1e-9
+
+    def test_matches_numpy_three_superlevels(self):
+        g = DiskGeometry(N=2**12, B=2**2, D=2**2, M=2**4)
+        result, err = reference_error(g)
+        assert result.superlevels == 3
+        assert err < 1e-9
+
+    def test_matches_numpy_ragged_last_superlevel(self):
+        # n = 11, m = 4 -> superlevel widths 4, 4, 3
+        g = DiskGeometry(N=2**11, B=2**2, D=2**1, M=2**4)
+        result, err = reference_error(g)
+        assert result.superlevels == 3
+        assert err < 1e-9
+
+    def test_real_signal(self):
+        g = DiskGeometry(N=2**10, B=2**3, D=2**2, M=2**6)
+        x = np.sin(np.linspace(0, 20 * np.pi, g.N))
+        result = out_of_core_fft(x, g)
+        assert np.max(np.abs(result.values - np.fft.fft(x))) < 1e-9
+
+    def test_impulse(self):
+        """FFT of a unit impulse is all ones (an exact check)."""
+        g = DiskGeometry(N=2**10, B=2**2, D=2**1, M=2**5)
+        x = np.zeros(g.N, dtype=np.complex128)
+        x[0] = 1.0
+        result = out_of_core_fft(x, g)
+        assert np.allclose(result.values, 1.0)
+
+    def test_constant_signal(self):
+        """FFT of all-ones: N at DC, zero elsewhere."""
+        g = DiskGeometry(N=2**10, B=2**2, D=2**1, M=2**5)
+        result = out_of_core_fft(np.ones(g.N), g)
+        assert abs(result.values[0] - g.N) < 1e-9
+        assert np.max(np.abs(result.values[1:])) < 1e-9
+
+    def test_wrong_length_rejected(self):
+        g = DiskGeometry(N=2**10, B=2**2, D=2**1, M=2**5)
+        with pytest.raises(ValidationError):
+            out_of_core_fft(np.ones(100), g)
+
+
+class TestIOAccounting:
+    def test_compute_ios_one_pass_per_superlevel(self):
+        g = DiskGeometry(N=2**10, B=2**2, D=2**1, M=2**5)
+        result, _ = reference_error(g)
+        assert result.compute_ios == result.superlevels * g.one_pass_ios
+
+    def test_staging_is_multiple_of_passes(self):
+        g = DiskGeometry(N=2**10, B=2**2, D=2**1, M=2**5)
+        result, _ = reference_error(g)
+        assert result.staging_ios % g.one_pass_ios == 0
+        assert result.total_ios == result.staging_ios + result.compute_ios
+
+    def test_stage_ledger_populated(self):
+        g = DiskGeometry(N=2**10, B=2**2, D=2**1, M=2**5)
+        result, _ = reference_error(g)
+        assert any("superlevel" in s for s in result.stages)
+        assert any("perm" in s for s in result.stages)
+
+
+class TestLayouts:
+    def test_superlevel0_identity(self):
+        assert _layout_for_superlevel(10, 5, 0).is_identity()
+
+    def test_superlevel_localizes_its_levels(self):
+        n, m = 12, 4
+        for s in range(1, 3):
+            layout = _layout_for_superlevel(n, m, s)
+            for level in range(s * m, min((s + 1) * m, n)):
+                assert layout.target_of[level] < m
+
+    def test_layout_is_involution(self):
+        layout = _layout_for_superlevel(12, 4, 2)
+        assert layout.compose(layout).is_identity()

@@ -1,0 +1,130 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestInfo:
+    def test_figure1_geometry(self, capsys):
+        assert main(["info", "--N", "64", "--B", "2", "--D", "8", "--M", "32"]) == 0
+        out = capsys.readouterr().out
+        assert "stripe  0" in out and "D7" in out
+        assert "n=6 b=1 d=3 m=5 s=2" in out
+
+    def test_default_geometry(self, capsys):
+        assert main(["info"]) == 0
+        assert "one pass" in capsys.readouterr().out
+
+
+class TestBounds:
+    def test_table_printed(self, capsys):
+        assert main(["bounds", "--rank-gamma", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Theorem 3" in out and "Theorem 21" in out
+        assert "Delta_max" in out
+
+    def test_default_rank(self, capsys):
+        assert main(["bounds"]) == 0
+        assert "rank gamma" in capsys.readouterr().out
+
+    def test_invalid_geometry_is_clean_error(self, capsys):
+        assert main(["bounds", "--N", "100"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestRun:
+    @pytest.mark.parametrize(
+        "perm",
+        [
+            "identity",
+            "transpose",
+            "bit-reversal",
+            "vector-reversal",
+            "gray",
+            "gray-inverse",
+            "permuted-gray",
+            "shuffle",
+            "random-bmmc",
+            "random-bpc",
+            "random-mrc",
+            "random-mld",
+        ],
+    )
+    def test_all_named_permutations_verify(self, perm, capsys):
+        code = main(["run", "--perm", perm, "--N", "1024", "--B", "4", "--D", "2", "--M", "64"])
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "verified=True" in out
+
+    def test_random_via_general(self, capsys):
+        code = main(
+            ["run", "--perm", "random", "--N", "1024", "--B", "4", "--D", "2", "--M", "64"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "method=general" in out
+
+    def test_forced_method(self, capsys):
+        code = main(["run", "--perm", "gray", "--method", "general"])
+        out = capsys.readouterr().out
+        assert code == 0 and "method=general" in out
+
+    def test_distribution_method(self, capsys):
+        code = main(
+            ["run", "--perm", "random-bmmc", "--method", "distribution", "--M", "256"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0 and "method=distribution" in out
+
+    def test_trace_output(self, capsys):
+        code = main(["run", "--perm", "gray", "--trace"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "parallelism efficiency" in out
+
+    def test_timeline_output(self, capsys):
+        code = main(["run", "--perm", "gray", "--timeline"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "disk  0 |" in out
+
+    def test_rank_gamma_control(self, capsys):
+        code = main(["run", "--perm", "random-bmmc", "--rank-gamma", "0"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "rank_gamma: 0.00" in out
+
+
+class TestDetect:
+    def test_positive(self, capsys):
+        assert main(["detect", "--perm", "permuted-gray"]) == 0
+        out = capsys.readouterr().out
+        assert "BMMC: yes" in out and "bound" in out
+
+    def test_tampered(self, capsys):
+        assert main(["detect", "--perm", "gray", "--tamper"]) == 0
+        out = capsys.readouterr().out
+        assert "BMMC: no" in out
+
+    def test_random_vector(self, capsys):
+        assert main(["detect", "--perm", "random"]) == 0
+        assert "BMMC: no" in capsys.readouterr().out
+
+
+class TestFactor:
+    def test_structure_printed(self, capsys):
+        assert main(["factor", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "P^-1" in out and "F" in out
+        assert "recomposition check: OK" in out
+        assert "eq. 17" in out
+
+    def test_explicit_permutation_rejected(self, capsys):
+        assert main(["factor", "--perm", "random"]) == 1
+        assert "requires a BMMC" in capsys.readouterr().err
+
+    def test_mrc_degenerate(self, capsys):
+        assert main(["factor", "--perm", "random-mrc"]) == 0
+        out = capsys.readouterr().out
+        assert "1 passes" in out or "merged one-pass factors (1" in out

@@ -1,0 +1,107 @@
+"""Tests for the programmatic experiment drivers."""
+
+import pytest
+
+from repro.experiments import (
+    EXPERIMENTS,
+    ExperimentTable,
+    ablation_merge,
+    detection_cost,
+    lower_bound_sweep,
+    mld_one_pass,
+    potential_audit,
+    run_experiment,
+    vs_general,
+)
+from repro.pdm.geometry import DiskGeometry
+
+
+SMALL = DiskGeometry(N=2**10, B=2**2, D=2**1, M=2**6)
+
+
+class TestDrivers:
+    def test_lower_bound_sweep(self):
+        table = lower_bound_sweep(SMALL)
+        assert table.experiment_id == "THM3"
+        assert len(table.rows) == min(SMALL.b, SMALL.n - SMALL.b) + 1
+
+    def test_mld_one_pass(self):
+        table = mld_one_pass(SMALL)
+        assert all(row[1] == SMALL.one_pass_ios for row in table.rows)
+
+    def test_detection_cost(self):
+        table = detection_cost(SMALL)
+        names = [row[0] for row in table.rows]
+        assert "random BMMC" in names and "random vector" in names
+
+    def test_ablation(self):
+        table = ablation_merge(SMALL)
+        assert all(row[2] >= row[1] for row in table.rows)
+
+    def test_vs_general(self):
+        table = vs_general(SMALL)
+        assert all(row[1] <= row[2] for row in table.rows)
+
+    def test_potential_audit(self):
+        table = potential_audit(SMALL)
+        assert len(table.rows) >= 1
+
+
+class TestRegistry:
+    def test_all_registered_run(self):
+        for key in EXPERIMENTS:
+            table = run_experiment(key, SMALL)
+            assert isinstance(table, ExperimentTable)
+            assert table.rows
+
+    def test_case_insensitive(self):
+        assert run_experiment("thm15", SMALL).experiment_id == "THM15"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            run_experiment("NOPE", SMALL)
+
+
+class TestRendering:
+    def test_render_contains_headers_and_rows(self):
+        table = mld_one_pass(SMALL)
+        text = table.render()
+        assert "THM15" in text
+        assert "gamma rank" in text
+        assert str(SMALL.one_pass_ios) in text
+
+
+class TestCLIIntegration:
+    def test_experiment_subcommand(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            ["experiment", "THM15", "--N", "1024", "--B", "4", "--D", "2", "--M", "64"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "THM15" in out and "gamma rank" in out
+
+    def test_experiment_all_ids(self, capsys):
+        from repro.cli import main
+
+        for key in EXPERIMENTS:
+            code = main(
+                ["experiment", key, "--N", "1024", "--B", "4", "--D", "2", "--M", "64"]
+            )
+            assert code == 0, capsys.readouterr().err
+            capsys.readouterr()
+
+    def test_experiment_plot_flag(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            [
+                "experiment", "CMP-GEN", "--plot",
+                "--N", "1024", "--B", "4", "--D", "2", "--M", "64",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "rank gamma" in out
+        assert "BMMC I/Os" in out  # legend of the chart

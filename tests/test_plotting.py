@@ -1,0 +1,84 @@
+"""Tests for the ASCII plotting helpers."""
+
+import pytest
+
+from repro.plotting import Series, ascii_bars, ascii_chart
+
+
+class TestSeries:
+    def test_marker_validation(self):
+        with pytest.raises(ValueError):
+            Series("x", [(0, 0)], marker="ab")
+
+    def test_empty_points_rejected(self):
+        with pytest.raises(ValueError):
+            Series("x", [])
+
+
+class TestChart:
+    def test_single_series(self):
+        s = Series("line", [(0, 0), (1, 1), (2, 4), (3, 9)], marker="o")
+        text = ascii_chart([s], width=20, height=8)
+        assert "o line" in text
+        assert text.count("o") >= 4  # all points plotted (plus legend)
+
+    def test_extremes_on_borders(self):
+        s = Series("s", [(0, 0), (10, 100)])
+        text = ascii_chart([s], width=30, height=10)
+        lines = text.splitlines()
+        assert "*" in lines[0]  # max y on the top row
+        # max-y annotation appears
+        assert "100" in lines[0]
+
+    def test_two_series_legend(self):
+        a = Series("measured", [(0, 1), (1, 2)], marker="m")
+        b = Series("bound", [(0, 2), (1, 4)], marker="b")
+        text = ascii_chart([a, b])
+        assert "m measured" in text and "b bound" in text
+
+    def test_axis_labels(self):
+        s = Series("s", [(0, 0), (1, 1)])
+        text = ascii_chart([s], x_label="rank gamma", y_label="I/Os")
+        assert "rank gamma" in text and "I/Os" in text
+
+    def test_flat_series_no_zero_division(self):
+        s = Series("flat", [(0, 5), (1, 5), (2, 5)])
+        text = ascii_chart([s])
+        assert "5" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_chart([])
+
+
+class TestBars:
+    def test_renders_values(self):
+        text = ascii_bars([("BMMC", 2048), ("sort", 18432)], unit=" I/Os")
+        assert "BMMC" in text and "18432 I/Os" in text
+        bmmc_line, sort_line = text.splitlines()
+        assert bmmc_line.count("#") < sort_line.count("#")
+
+    def test_zero_value(self):
+        text = ascii_bars([("zero", 0.0), ("one", 1.0)])
+        assert "zero" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_bars([])
+
+
+class TestIntegrationWithExperiments:
+    def test_plot_lower_bound_sweep(self):
+        """Plot THM3's measured-vs-bound sweep end to end."""
+        from repro.experiments import lower_bound_sweep
+        from repro.pdm.geometry import DiskGeometry
+
+        table = lower_bound_sweep(DiskGeometry(N=2**10, B=2**2, D=2**1, M=2**6))
+        measured = Series(
+            "measured", [(row[0], float(row[1])) for row in table.rows], marker="M"
+        )
+        lb = Series(
+            "Thm3 LB", [(row[0], float(row[2])) for row in table.rows], marker="L"
+        )
+        text = ascii_chart([measured, lb], x_label="rank gamma", y_label="parallel I/Os")
+        assert "M measured" in text and "L Thm3 LB" in text

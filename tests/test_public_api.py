@@ -1,0 +1,84 @@
+"""Public-API stability: the names README and the docs promise exist."""
+
+import importlib
+
+import pytest
+
+
+class TestTopLevelExports:
+    def test_all_names_importable(self):
+        import repro
+
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.{name} missing"
+
+    def test_version(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"
+
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.bits",
+            "repro.bits.bitops",
+            "repro.bits.matrix",
+            "repro.bits.linalg",
+            "repro.bits.colops",
+            "repro.bits.random",
+            "repro.pdm",
+            "repro.pdm.geometry",
+            "repro.pdm.system",
+            "repro.pdm.memory",
+            "repro.pdm.stats",
+            "repro.pdm.layout",
+            "repro.pdm.trace",
+            "repro.perms",
+            "repro.perms.base",
+            "repro.perms.bmmc",
+            "repro.perms.bpc",
+            "repro.perms.mrc",
+            "repro.perms.mld",
+            "repro.perms.library",
+            "repro.perms.classify",
+            "repro.core",
+            "repro.core.mrc_algorithm",
+            "repro.core.mld_algorithm",
+            "repro.core.inverse_mld",
+            "repro.core.factoring",
+            "repro.core.bmmc_algorithm",
+            "repro.core.general",
+            "repro.core.distribution",
+            "repro.core.bounds",
+            "repro.core.potential",
+            "repro.core.detect",
+            "repro.core.runner",
+            "repro.apps",
+            "repro.apps.fft",
+            "repro.experiments",
+            "repro.plotting",
+            "repro.cli",
+            "repro.errors",
+        ],
+    )
+    def test_module_imports_and_has_docstring(self, module):
+        mod = importlib.import_module(module)
+        assert mod.__doc__ and len(mod.__doc__.strip()) > 30, f"{module} lacks docs"
+
+    def test_subpackage_alls_resolve(self):
+        for pkg_name in ["repro.bits", "repro.pdm", "repro.perms", "repro.core"]:
+            pkg = importlib.import_module(pkg_name)
+            for name in pkg.__all__:
+                assert hasattr(pkg, name), f"{pkg_name}.{name} missing"
+
+    def test_readme_quickstart_runs(self):
+        """The exact snippet from the README works."""
+        from repro import DiskGeometry, ParallelDiskSystem, perform_permutation
+        from repro.perms import library
+
+        g = DiskGeometry(N=2**10, B=2**2, D=2**1, M=2**6)
+        system = ParallelDiskSystem(g)
+        system.fill_identity(0)
+        report = perform_permutation(system, library.bit_reversal(g.n))
+        assert report.verified
+        assert "method=" in report.summary()
