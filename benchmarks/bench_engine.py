@@ -1,0 +1,161 @@
+"""ENGINE: strict-vs-fast execution of identical I/O plans.
+
+The refactor's bargain: planning is pure, and one plan executes either
+*strictly* (per-operation rule enforcement, the reference semantics) or
+*fast* (validated up front, fused numpy gather/scatter per pass).  This
+bench measures the bargain across growing ``N`` and asserts it is free:
+
+* both engines report identical :class:`StatsSnapshot` counters,
+* every pass costs exactly ``2N/BD`` parallel I/Os (the paper's
+  per-pass accounting, Table 1 caption), for the one-pass MLD plan and
+  for every pass of the multi-pass Theorem 21 plan,
+* the permutation verifies under both engines, and
+* steady-state fast execution is at least 5x faster than strict at
+  ``N = 2^18`` (measured on the same pre-built plan; the first fast run
+  additionally pays a one-time fuse+validate cost, reported separately
+  as ``fast cold``).
+
+Results: ``benchmarks/results/BENCH_engine.md`` plus a machine-readable
+``benchmarks/results/BENCH_engine.json`` for CI trend tracking.
+"""
+
+import json
+import os
+import time
+
+import numpy as np
+
+from repro.bits.random import random_mld_matrix
+from repro.core.bmmc_algorithm import plan_bmmc_io, plan_bmmc_passes
+from repro.core.mld_algorithm import plan_mld_pass
+from repro.pdm.engine import execute_plan
+from repro.pdm.geometry import DiskGeometry
+from repro.pdm.system import ParallelDiskSystem
+from repro.perms.bmmc import BMMCPermutation
+from repro.perms.library import bit_reversal
+
+from benchmarks.conftest import RESULTS_DIR, SEED, write_result
+
+#: Sweep geometries: the default bench block/disk/memory shape, growing N.
+SWEEP_N = [14, 16, 18, 20]
+SHAPE = dict(B=2**4, D=2**3, M=2**11)
+
+#: Acceptance threshold at N = 2^18 (steady-state).  Overridable so CI
+#: smoke runs on noisy shared runners can loosen it (the floor still
+#: catches "fast stopped being fast" regressions at any setting > 1).
+SPEEDUP_FLOOR = float(os.environ.get("BENCH_ENGINE_SPEEDUP_FLOOR", "5.0"))
+SPEEDUP_AT_N = 18
+
+
+def _time(fn, rounds=3):
+    """Median-of-``rounds`` wall-clock seconds."""
+    times = []
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    return sorted(times)[len(times) // 2]
+
+
+def _fresh(g):
+    s = ParallelDiskSystem(g)
+    s.fill_identity(0)
+    return s
+
+
+def _run(g, plan, engine):
+    s = _fresh(g)
+    execute_plan(s, plan, engine=engine)
+    return s
+
+
+def _measure(g, plan, perm, final_portion):
+    """Time both engines on one plan; assert equivalence and accounting."""
+    strict = _run(g, plan, "strict")
+    fast = _run(g, plan, "fast")  # cold fuse happens here
+    assert strict.stats.snapshot() == fast.stats.snapshot()
+    assert (strict.portion_values(final_portion) == fast.portion_values(final_portion)).all()
+    assert strict.verify_permutation(perm, np.arange(g.N), final_portion)
+    assert fast.verify_permutation(perm, np.arange(g.N), final_portion)
+    # Paper accounting: every pass reads and writes each record once.
+    for p in fast.stats.passes:
+        assert p.parallel_ios == g.one_pass_ios, (p.label, p.parallel_ios)
+    assert fast.stats.parallel_ios == plan.num_passes * g.one_pass_ios
+
+    t_cold_fast = _time(lambda: _cold_run(g, plan), rounds=1)
+    t_strict = _time(lambda: _run(g, plan, "strict"))
+    t_fast = _time(lambda: _run(g, plan, "fast"))  # fuse cache warm again
+    return t_strict, t_cold_fast, t_fast, fast.stats.parallel_ios
+
+
+def _cold_run(g, plan):
+    """Fast run including the one-time fuse+validate cost."""
+    for p in plan.passes:
+        p._fused.clear()
+    return _run(g, plan, "fast")
+
+
+def test_engine_strict_vs_fast(benchmark):
+    rows = []
+    records = []
+
+    def sweep():
+        for n in SWEEP_N:
+            g = DiskGeometry(N=2**n, **SHAPE)
+            rng = np.random.default_rng(SEED + n)
+
+            mld = BMMCPermutation(random_mld_matrix(g.n, g.b, g.m, rng))
+            mld_plan = plan_mld_pass(g, mld)
+            s_mld = _measure(g, mld_plan, mld, 1)
+
+            rev = bit_reversal(g.n)
+            steps = plan_bmmc_passes(rev, g)
+            bmmc_plan, final = plan_bmmc_io(g, steps)
+            s_bmmc = _measure(g, bmmc_plan, rev, final)
+
+            for name, plan, (t_strict, t_cold, t_fast, ios) in (
+                ("mld-1pass", mld_plan, s_mld),
+                (f"bmmc-{len(steps)}pass", bmmc_plan, s_bmmc),
+            ):
+                speedup = t_strict / t_fast
+                rows.append(
+                    [
+                        f"2^{n}",
+                        name,
+                        ios,
+                        f"{t_strict * 1e3:.1f}",
+                        f"{t_cold * 1e3:.1f}",
+                        f"{t_fast * 1e3:.1f}",
+                        f"{speedup:.1f}x",
+                    ]
+                )
+                records.append(
+                    dict(
+                        N=2**n,
+                        plan=name,
+                        passes=plan.num_passes,
+                        parallel_ios=ios,
+                        strict_s=t_strict,
+                        fast_cold_s=t_cold,
+                        fast_warm_s=t_fast,
+                        speedup_warm=speedup,
+                    )
+                )
+                if n == SPEEDUP_AT_N:
+                    assert speedup >= SPEEDUP_FLOOR, (
+                        f"fast engine only {speedup:.1f}x faster than strict "
+                        f"at N=2^{n} ({name}); need {SPEEDUP_FLOOR}x"
+                    )
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_engine.json").write_text(
+        json.dumps(dict(shape=SHAPE, seed=SEED, rows=records), indent=2) + "\n"
+    )
+    write_result(
+        "BENCH_engine",
+        "strict vs fast plan execution (median wall-clock, ms)",
+        ["N", "plan", "parallel I/Os", "strict", "fast cold", "fast warm", "speedup"],
+        rows,
+    )

@@ -37,6 +37,7 @@ from repro.core.detect import detect_bmmc, store_target_vector
 from repro.core.factoring import factor_bmmc
 from repro.core.runner import perform_permutation
 from repro.errors import ReproError
+from repro.pdm.engine import ENGINES
 from repro.pdm.geometry import DiskGeometry
 from repro.pdm.layout import render_figure1, render_figure2
 from repro.pdm.system import ParallelDiskSystem
@@ -168,7 +169,9 @@ def cmd_run(args) -> int:
     system = ParallelDiskSystem(g)
     system.fill_identity(0)
     trace = IOTrace(system) if args.timeline or args.trace else None
-    report = perform_permutation(system, perm, method=args.method)
+    if trace is not None and args.engine == "fast":
+        print("(tracing attaches observers: executing strictly, not fused)")
+    report = perform_permutation(system, perm, method=args.method, engine=args.engine)
     print(report.summary())
     if trace is not None:
         print()
@@ -301,6 +304,13 @@ def build_parser() -> argparse.ArgumentParser:
     _add_geometry_args(p_run)
     p_run.add_argument("--perm", choices=PERM_CHOICES, default="random-bmmc")
     p_run.add_argument("--method", choices=METHOD_CHOICES, default="auto")
+    p_run.add_argument(
+        "--engine",
+        choices=list(ENGINES),
+        default="strict",
+        help="plan execution: strict per-I/O replay or fused numpy batches "
+        "(--trace/--timeline need per-I/O events and force strict)",
+    )
     p_run.add_argument("--seed", type=int, default=0)
     p_run.add_argument("--rank-gamma", type=int, default=None)
     p_run.add_argument("--trace", action="store_true", help="print schedule metrics")

@@ -14,12 +14,21 @@
 * :mod:`repro.core.runner` -- classification-driven dispatch.
 """
 
-from repro.core.mrc_algorithm import perform_mrc_pass
-from repro.core.mld_algorithm import perform_mld_pass
-from repro.core.inverse_mld import is_inverse_mld, perform_inverse_mld_pass
+from repro.core.mrc_algorithm import perform_mrc_pass, plan_mrc_pass
+from repro.core.mld_algorithm import perform_mld_pass, plan_mld_pass
+from repro.core.inverse_mld import (
+    is_inverse_mld,
+    perform_inverse_mld_pass,
+    plan_inverse_mld_pass,
+)
 from repro.core.factoring import Factorization, factor_bmmc
-from repro.core.bmmc_algorithm import PlanStep, perform_bmmc, plan_bmmc_passes
-from repro.core.general import perform_general_sort
+from repro.core.bmmc_algorithm import (
+    PlanStep,
+    perform_bmmc,
+    plan_bmmc_io,
+    plan_bmmc_passes,
+)
+from repro.core.general import perform_general_sort, plan_general_sort
 from repro.core import bounds
 from repro.core.potential import PotentialTracker, compute_potential, f
 from repro.core.detect import DetectionResult, detect_bmmc, store_target_vector
@@ -27,15 +36,20 @@ from repro.core.runner import RunReport, perform_permutation
 
 __all__ = [
     "perform_mrc_pass",
+    "plan_mrc_pass",
     "perform_mld_pass",
+    "plan_mld_pass",
     "is_inverse_mld",
     "perform_inverse_mld_pass",
+    "plan_inverse_mld_pass",
     "Factorization",
     "factor_bmmc",
     "PlanStep",
     "perform_bmmc",
+    "plan_bmmc_io",
     "plan_bmmc_passes",
     "perform_general_sort",
+    "plan_general_sort",
     "bounds",
     "PotentialTracker",
     "compute_potential",

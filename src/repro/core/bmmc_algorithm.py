@@ -9,6 +9,12 @@ part of the MRC permutation characterized by the leftmost factor F");
 because our one-pass performers handle full affine maps, a direct
 MRC/MLD shortcut also carries its complement.
 
+Two planning layers: :func:`plan_bmmc_passes` picks the sequence of
+one-pass permutations (the paper's factor schedule), and
+:func:`plan_bmmc_io` lowers that schedule to a concrete multi-pass
+:class:`~repro.pdm.schedule.IOPlan` -- one plan object for the whole
+run, executable strictly or fused.
+
 ``merge_factors=False`` is the reproduction's stand-in for the prior
 BMMC/BPC algorithms of [4]: every factor of eq. 18 becomes its own pass
 (``2g + 2`` passes instead of ``g + 1``), exhibiting the "innermost
@@ -21,14 +27,22 @@ from dataclasses import dataclass
 
 from repro.bits.colops import is_mld_form, is_mrc_form
 from repro.core.factoring import factor_bmmc
-from repro.core.mld_algorithm import perform_mld_pass
-from repro.core.mrc_algorithm import perform_mrc_pass
+from repro.core.mld_algorithm import plan_mld_pass
+from repro.core.mrc_algorithm import plan_mrc_pass
 from repro.errors import ValidationError
+from repro.pdm.engine import execute_plan
 from repro.pdm.geometry import DiskGeometry
+from repro.pdm.schedule import IOPlan
 from repro.pdm.system import ParallelDiskSystem
 from repro.perms.bmmc import BMMCPermutation
 
-__all__ = ["PlanStep", "plan_bmmc_passes", "perform_bmmc", "BMMCRunResult"]
+__all__ = [
+    "PlanStep",
+    "plan_bmmc_passes",
+    "plan_bmmc_io",
+    "perform_bmmc",
+    "BMMCRunResult",
+]
 
 
 @dataclass(frozen=True)
@@ -36,7 +50,7 @@ class PlanStep:
     """One pass of the plan: an affine one-pass permutation plus its class."""
 
     perm: BMMCPermutation
-    kind: str  # "mrc" or "mld"
+    kind: str  # "mrc", "mld", or "inv-mld"
     name: str
 
 
@@ -104,6 +118,37 @@ def plan_bmmc_passes(
     return steps
 
 
+def plan_bmmc_io(
+    geometry: DiskGeometry,
+    steps: list[PlanStep],
+    source_portion: int = 0,
+    target_portion: int = 1,
+) -> tuple[IOPlan, int]:
+    """Lower a pass schedule to one multi-pass I/O plan.
+
+    Passes ping-pong between the two portions; returns the combined
+    plan and the portion holding the final output.
+    """
+    from repro.core.inverse_mld import plan_inverse_mld_pass
+
+    plans: list[IOPlan] = []
+    current = source_portion
+    for step in steps:
+        out = target_portion if current == source_portion else source_portion
+        if step.kind == "mrc":
+            plans.append(plan_mrc_pass(geometry, step.perm, current, out, label=step.name))
+        elif step.kind == "mld":
+            plans.append(plan_mld_pass(geometry, step.perm, current, out, label=step.name))
+        elif step.kind == "inv-mld":
+            plans.append(
+                plan_inverse_mld_pass(geometry, step.perm, current, out, label=step.name)
+            )
+        else:  # pragma: no cover - schedules only emit known kinds
+            raise ValidationError(f"unknown pass kind {step.kind!r}")
+        current = out
+    return IOPlan.concatenate(plans), current
+
+
 def perform_bmmc(
     system: ParallelDiskSystem,
     perm: BMMCPermutation,
@@ -111,6 +156,7 @@ def perform_bmmc(
     target_portion: int = 1,
     merge_factors: bool = True,
     plan: list[PlanStep] | None = None,
+    engine: str = "strict",
 ) -> BMMCRunResult:
     """Perform a BMMC permutation on the simulator (Theorem 21's algorithm).
 
@@ -120,23 +166,11 @@ def perform_bmmc(
     """
     if plan is None:
         plan = plan_bmmc_passes(perm, system.geometry, merge_factors=merge_factors)
+    io_plan, final = plan_bmmc_io(system.geometry, plan, source_portion, target_portion)
     before = system.stats.parallel_ios
-    current = source_portion
-    for step in plan:
-        out = target_portion if current == source_portion else source_portion
-        if step.kind == "mrc":
-            perform_mrc_pass(system, step.perm, current, out, label=step.name)
-        elif step.kind == "mld":
-            perform_mld_pass(system, step.perm, current, out, label=step.name)
-        elif step.kind == "inv-mld":
-            from repro.core.inverse_mld import perform_inverse_mld_pass
-
-            perform_inverse_mld_pass(system, step.perm, current, out, label=step.name)
-        else:  # pragma: no cover - plans only emit known kinds
-            raise ValidationError(f"unknown pass kind {step.kind!r}")
-        current = out
+    execute_plan(system, io_plan, engine=engine)
     return BMMCRunResult(
         steps=plan,
-        final_portion=current,
+        final_portion=final,
         parallel_ios=system.stats.parallel_ios - before,
     )

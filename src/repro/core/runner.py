@@ -58,6 +58,7 @@ def perform_permutation(
     source_portion: int = 0,
     target_portion: int = 1,
     verify: bool = True,
+    engine: str = "strict",
 ) -> RunReport:
     """Run ``perm`` on ``system`` and report.
 
@@ -66,6 +67,12 @@ def perform_permutation(
     ablation without Theorem 17/18 factor grouping), ``general``
     (merge-sort baseline), or ``distribution`` (randomized-placement
     distribution sort); the last two work for any permutation.
+
+    ``engine`` selects plan execution: ``strict`` replays every parallel
+    I/O through the rule-checked simulator path, ``fast`` runs the same
+    plan as fused numpy batches (identical portions and stats).  The
+    distribution sort is adaptive (its I/Os depend on sampled state) and
+    always executes strictly.
 
     The source portion must already hold the canonical payloads
     (``fill_identity``); verification checks
@@ -92,16 +99,23 @@ def perform_permutation(
     before = system.stats.snapshot()
     passes_before = len(system.stats.passes)
     if chosen == "mrc":
-        perform_mrc_pass(system, _require_bmmc(bperm, chosen), source_portion, target_portion)
+        perform_mrc_pass(
+            system, _require_bmmc(bperm, chosen), source_portion, target_portion,
+            engine=engine,
+        )
         final = target_portion
     elif chosen == "mld":
-        perform_mld_pass(system, _require_bmmc(bperm, chosen), source_portion, target_portion)
+        perform_mld_pass(
+            system, _require_bmmc(bperm, chosen), source_portion, target_portion,
+            engine=engine,
+        )
         final = target_portion
     elif chosen == "inv-mld":
         from repro.core.inverse_mld import perform_inverse_mld_pass
 
         perform_inverse_mld_pass(
-            system, _require_bmmc(bperm, chosen), source_portion, target_portion
+            system, _require_bmmc(bperm, chosen), source_portion, target_portion,
+            engine=engine,
         )
         final = target_portion
     elif chosen in ("bmmc", "bmmc-unmerged"):
@@ -111,10 +125,13 @@ def perform_permutation(
             source_portion,
             target_portion,
             merge_factors=(chosen == "bmmc"),
+            engine=engine,
         )
         final = result.final_portion
     elif chosen == "general":
-        result = perform_general_sort(system, perm, source_portion, target_portion)
+        result = perform_general_sort(
+            system, perm, source_portion, target_portion, engine=engine
+        )
         final = result.final_portion
     elif chosen == "distribution":
         from repro.core.distribution import perform_distribution_sort
@@ -148,6 +165,7 @@ def perform_pipeline(
     source_portion: int = 0,
     target_portion: int = 1,
     verify: bool = True,
+    engine: str = "strict",
 ) -> RunReport:
     """Perform a sequence of permutations as *one* composed run.
 
@@ -177,6 +195,7 @@ def perform_pipeline(
         source_portion=source_portion,
         target_portion=target_portion,
         verify=verify,
+        engine=engine,
     )
 
 

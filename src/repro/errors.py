@@ -17,6 +17,7 @@ __all__ = [
     "MemoryCapacityError",
     "BlockStateError",
     "DetectionError",
+    "PlanError",
 ]
 
 
@@ -68,3 +69,13 @@ class BlockStateError(ReproError, RuntimeError):
 
 class DetectionError(ReproError, RuntimeError):
     """Run-time BMMC detection was asked something it cannot answer."""
+
+
+class PlanError(ValidationError):
+    """An I/O plan is malformed or not eligible for fused execution.
+
+    The fast engine requires that within one pass no block is touched
+    twice in an order-dependent way (a consuming read after another read
+    of the same block, two writes to one block, or a read and a write of
+    the same block); such plans must run on the strict engine.
+    """

@@ -18,6 +18,8 @@ from repro.pdm.memory import Memory
 from repro.pdm.stats import IOStats, PassStats
 from repro.pdm.system import ParallelDiskSystem
 from repro.pdm.layout import render_figure1, render_figure2, render_portion
+from repro.pdm.schedule import IOPlan, IOStep, PlanBuilder, PlanPass
+from repro.pdm.engine import ENGINES, PlanCheck, execute_plan, validate_plan
 
 __all__ = [
     "DiskGeometry",
@@ -28,4 +30,12 @@ __all__ = [
     "render_figure1",
     "render_figure2",
     "render_portion",
+    "IOPlan",
+    "IOStep",
+    "PlanBuilder",
+    "PlanPass",
+    "ENGINES",
+    "PlanCheck",
+    "execute_plan",
+    "validate_plan",
 ]

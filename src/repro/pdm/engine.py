@@ -1,0 +1,454 @@
+"""Plan execution engines: strict replay and fused fast mode.
+
+Two ways to run an :class:`~repro.pdm.schedule.IOPlan` on a
+:class:`~repro.pdm.system.ParallelDiskSystem`, chosen by the
+``engine`` knob:
+
+* **strict** replays the plan step-by-step through the existing
+  ``read_blocks``/``write_blocks`` path, so every model rule
+  (one block per disk, memory capacity, simple I/O) is enforced on
+  every operation and observers see every :class:`IOEvent`.  This is
+  the reference semantics -- identical to the hand-written performers
+  the planners replaced.
+
+* **fast** validates the *whole plan* up front (vectorized conflict,
+  capacity, and slot checks across all steps) and then executes each
+  pass as one fused numpy gather/scatter, updating
+  :class:`~repro.pdm.stats.IOStats` and the memory accountant in bulk.
+  Per-step Python overhead disappears; portions, stats snapshots, pass
+  tables, and the memory peak come out identical to strict execution.
+
+Fused execution reorders nothing observable: it requires that within a
+pass no block is touched twice in an order-dependent way (checked; a
+violating plan raises :class:`~repro.errors.PlanError`).  All plans
+emitted by :mod:`repro.core` satisfy this by construction -- a pass
+reads each source block once and writes each target block once.
+
+When observers are attached (e.g. :class:`~repro.pdm.trace.IOTrace`),
+``execute_plan`` silently falls back to strict so per-operation events
+keep flowing.
+
+Host-memory note: both executors materialize a pass's whole read
+stream (one record per record read, i.e. O(N) for a full pass) --
+that buffer is what makes writes pure slot lookups.  The *simulated*
+machine still respects its M-record memory rule; the host footprint is
+the price of batching and is fine up to N ~ 2^24 (128 MB int64).
+Beyond that, see ROADMAP ("memory-footprint guard").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import (
+    BlockStateError,
+    DiskConflictError,
+    MemoryCapacityError,
+    PlanError,
+    ValidationError,
+)
+from repro.pdm.schedule import IOPlan, PlanPass
+from repro.pdm.system import ParallelDiskSystem
+
+__all__ = ["ENGINES", "execute_plan", "validate_plan", "PlanCheck"]
+
+#: The two execution modes.
+ENGINES = ("strict", "fast")
+
+
+@dataclass(frozen=True)
+class PlanCheck:
+    """Summary returned by :func:`validate_plan` after a full-plan audit."""
+
+    passes: int
+    parallel_reads: int
+    parallel_writes: int
+    striped_reads: int
+    striped_writes: int
+    blocks_read: int
+    blocks_written: int
+    peak_memory_records: int
+    net_memory_records: int
+
+    @property
+    def parallel_ios(self) -> int:
+        return self.parallel_reads + self.parallel_writes
+
+
+class _FusedPass:
+    """Concatenated per-pass step metadata for vectorized checks/execution."""
+
+    __slots__ = (
+        "label", "num_steps",
+        "read_ids", "read_sizes", "read_portions", "read_striped",
+        "read_consume_default", "read_consume_value",
+        "read_addr", "rec_read_portion",
+        "write_ids", "write_sizes", "write_portions", "write_striped",
+        "write_addr", "write_source", "rec_write_portion", "write_source_max",
+        "is_read", "step_sizes", "reads_before",
+        "mem_net", "mem_peak",  # filled by validation (records, absolute)
+        "checked_for",  # num_portions the structural checks last ran against
+    )
+
+    def resolved_consume(self, simple_io: bool) -> np.ndarray:
+        """Per-read-step consume flags with ``None`` resolved to the default."""
+        return np.where(self.read_consume_default, simple_io, self.read_consume_value)
+
+
+def _segment_striped(g, ids: np.ndarray, sizes: np.ndarray) -> np.ndarray:
+    """Per-step striped flags: exactly D blocks, all in one stripe."""
+    if sizes.size == 0:
+        return np.zeros(0, dtype=bool)
+    if (sizes == 0).any():  # malformed; validation will raise
+        return np.zeros(sizes.size, dtype=bool)
+    stripes = ids >> g.d
+    offsets = np.concatenate(([0], np.cumsum(sizes)[:-1]))
+    lo = np.minimum.reduceat(stripes, offsets)
+    hi = np.maximum.reduceat(stripes, offsets)
+    return (sizes == g.D) & (lo == hi)
+
+
+def _fuse_pass(system: ParallelDiskSystem, pas: PlanPass) -> _FusedPass:
+    g = system.geometry
+    # Cache on the pass, invalidated if steps were added since fusing.
+    cached = pas._fused.get("fused")
+    if cached is not None and cached.num_steps == len(pas.steps):
+        return cached
+
+    B = g.B
+    read_ids, read_sizes, read_portions = [], [], []
+    consume_default, consume_value = [], []
+    write_ids, write_sizes, write_portions, write_sources = [], [], [], []
+    is_read = np.empty(len(pas.steps), dtype=bool)
+    step_sizes = np.empty(len(pas.steps), dtype=np.int64)
+    reads_before = []
+    records_read = 0
+    for i, step in enumerate(pas.steps):
+        ids = step.block_ids
+        if step.kind == "read":
+            is_read[i] = True
+            step_sizes[i] = ids.size
+            read_ids.append(ids)
+            read_sizes.append(ids.size)
+            read_portions.append(step.portion)
+            consume_default.append(step.consume is None)
+            consume_value.append(bool(step.consume))
+            records_read += ids.size * B
+        else:
+            is_read[i] = False
+            step_sizes[i] = ids.size
+            write_ids.append(ids)
+            write_sizes.append(ids.size)
+            write_portions.append(step.portion)
+            write_sources.append(step.source)
+            reads_before.append(records_read)
+
+    f = _FusedPass()
+    f.label = pas.label
+    f.num_steps = len(pas.steps)
+    f.checked_for = None
+    empty_i64 = np.zeros(0, dtype=np.int64)
+    f.read_ids = np.concatenate(read_ids) if read_ids else empty_i64
+    f.read_sizes = np.asarray(read_sizes, dtype=np.int64)
+    f.read_portions = np.asarray(read_portions, dtype=np.int64)
+    f.read_consume_default = np.asarray(consume_default, dtype=bool)
+    f.read_consume_value = np.asarray(consume_value, dtype=bool)
+    f.read_striped = _segment_striped(g, f.read_ids, f.read_sizes)
+    f.write_ids = np.concatenate(write_ids) if write_ids else empty_i64
+    f.write_sizes = np.asarray(write_sizes, dtype=np.int64)
+    f.write_portions = np.asarray(write_portions, dtype=np.int64)
+    f.write_striped = _segment_striped(g, f.write_ids, f.write_sizes)
+    f.write_source = np.concatenate(write_sources) if write_sources else empty_i64
+    if f.write_sizes.size and (f.write_sizes > 0).all():
+        offsets = np.concatenate(([0], np.cumsum(f.write_sizes * B)[:-1]))
+        f.write_source_max = np.maximum.reduceat(f.write_source, offsets)
+    else:
+        f.write_source_max = np.full(f.write_sizes.size, -1, dtype=np.int64)
+    f.is_read = is_read
+    f.step_sizes = step_sizes
+    f.reads_before = np.asarray(reads_before, dtype=np.int64)
+
+    offsets = np.arange(B, dtype=np.int64)[None, :]
+    f.read_addr = ((f.read_ids[:, None] << g.b) + offsets).reshape(-1)
+    f.write_addr = ((f.write_ids[:, None] << g.b) + offsets).reshape(-1)
+    f.rec_read_portion = np.repeat(f.read_portions, f.read_sizes * B)
+    f.rec_write_portion = np.repeat(f.write_portions, f.write_sizes * B)
+
+    pas._fused["fused"] = f
+    return f
+
+
+def _check_structure(system: ParallelDiskSystem, f: _FusedPass) -> None:
+    """Per-step model rules, vectorized over one pass."""
+    g = system.geometry
+    sizes = f.step_sizes
+    if (sizes == 0).any():
+        raise ValidationError(
+            f"pass {f.label!r}: a parallel I/O must transfer at least one block"
+        )
+    if (sizes > g.D).any():
+        raise DiskConflictError(
+            f"pass {f.label!r}: a parallel I/O moves at most D={g.D} blocks "
+            f"(largest step moves {int(sizes.max())})"
+        )
+    for ids, portions, step_sizes in (
+        (f.read_ids, f.read_portions, f.read_sizes),
+        (f.write_ids, f.write_portions, f.write_sizes),
+    ):
+        if ids.size == 0:
+            continue
+        if ids.min() < 0 or ids.max() >= g.num_blocks:
+            raise ValidationError(f"pass {f.label!r}: block id out of range")
+        if portions.size and (
+            portions.min() < 0 or portions.max() >= system.num_portions
+        ):
+            raise ValidationError(f"pass {f.label!r}: portion out of range")
+        step_of = np.repeat(np.arange(step_sizes.size, dtype=np.int64), step_sizes)
+        keys = step_of * g.D + (ids & (g.D - 1))
+        if np.unique(keys).size != keys.size:
+            raise DiskConflictError(
+                f"pass {f.label!r}: at most one block per disk per parallel I/O"
+            )
+    if (f.write_source_max >= f.reads_before).any():
+        raise PlanError(
+            f"pass {f.label!r}: a write step sources stream slots that are "
+            "not yet read at its position in the pass"
+        )
+    if f.write_source.size and f.write_source.min() < 0:
+        raise PlanError(f"pass {f.label!r}: negative stream slot")
+
+
+def _check_fusable(system: ParallelDiskSystem, f: _FusedPass) -> None:
+    """Reject order-dependent block touches that fusion would reorder."""
+    g = system.geometry
+    wkeys = f.rec_write_portion[:: g.B] * g.num_blocks + f.write_ids if f.write_ids.size else f.write_ids
+    rkeys = f.rec_read_portion[:: g.B] * g.num_blocks + f.read_ids if f.read_ids.size else f.read_ids
+    if wkeys.size and np.unique(wkeys).size != wkeys.size:
+        raise PlanError(
+            f"pass {f.label!r} writes a block twice; fused execution would "
+            "reorder the writes -- use the strict engine"
+        )
+    if rkeys.size:
+        uniq, counts = np.unique(rkeys, return_counts=True)
+        dup = uniq[counts > 1]
+        if dup.size:
+            block_consume = np.repeat(
+                f.resolved_consume(system.simple_io), f.read_sizes
+            )
+            if np.isin(rkeys[block_consume], dup).any():
+                raise PlanError(
+                    f"pass {f.label!r} re-reads a consumed block; fused "
+                    "execution cannot preserve the order -- use the strict engine"
+                )
+    if wkeys.size and rkeys.size and np.intersect1d(wkeys, rkeys).size:
+        raise PlanError(
+            f"pass {f.label!r} both reads and writes a block; fused execution "
+            "would reorder the touches -- use the strict engine"
+        )
+
+
+def _check_pass(system: ParallelDiskSystem, f: _FusedPass) -> None:
+    """Structural + fusability audit, cached per (portions, simple_io).
+
+    Both checks are pure functions of the fused metadata and these two
+    system attributes, so re-executing an already-audited plan skips
+    straight to the data-dependent work.
+    """
+    key = (system.num_portions, system.simple_io)
+    if f.checked_for == key:
+        return
+    _check_structure(system, f)
+    _check_fusable(system, f)
+    f.checked_for = key
+
+
+def _check_memory(system: ParallelDiskSystem, fused: list[_FusedPass]) -> tuple[int, int]:
+    """Simulate the record-count memory across all passes; fill per-pass
+    ``mem_net``/``mem_peak`` and return (overall peak, net delta)."""
+    g = system.geometry
+    mem = system.memory
+    in_use = mem.in_use
+    overall_peak = mem.peak
+    for f in fused:
+        deltas = np.where(f.is_read, f.step_sizes, -f.step_sizes) * g.B
+        prefix = np.cumsum(deltas)
+        if prefix.size:
+            hi = int(prefix.max())
+            if in_use + hi > mem.capacity:
+                raise MemoryCapacityError(
+                    f"pass {f.label!r} would hold {in_use + hi} > "
+                    f"M={mem.capacity} records in memory"
+                )
+            if in_use + int(prefix.min()) < 0:
+                raise MemoryCapacityError(
+                    f"pass {f.label!r} releases more records than are resident"
+                )
+            read_prefix = prefix[f.is_read]
+            pass_peak = in_use + int(read_prefix.max()) if read_prefix.size else in_use
+            net = int(prefix[-1])
+        else:
+            pass_peak, net = in_use, 0
+        f.mem_peak = max(pass_peak, in_use)
+        f.mem_net = net
+        in_use += net
+        overall_peak = max(overall_peak, f.mem_peak)
+    return overall_peak, in_use - mem.in_use
+
+
+def validate_plan(system: ParallelDiskSystem, plan: IOPlan) -> PlanCheck:
+    """Audit a whole plan against the model rules without executing it.
+
+    Raises the same error classes the strict engine would (disk
+    conflicts, capacity, malformed steps) plus :class:`PlanError` for
+    plans whose within-pass ordering fused execution cannot preserve.
+    Data-state (simple I/O emptiness) is inherently a run-time property
+    and is checked during execution instead.
+    """
+    if plan.geometry != system.geometry:
+        raise ValidationError("plan and system geometries differ")
+    fused = [_fuse_pass(system, p) for p in plan.passes]
+    for f in fused:
+        _check_pass(system, f)
+    peak, net = _check_memory(system, fused)
+    return PlanCheck(
+        passes=len(fused),
+        parallel_reads=int(sum(f.read_sizes.size for f in fused)),
+        parallel_writes=int(sum(f.write_sizes.size for f in fused)),
+        striped_reads=int(sum(int(f.read_striped.sum()) for f in fused)),
+        striped_writes=int(sum(int(f.write_striped.sum()) for f in fused)),
+        blocks_read=int(sum(int(f.read_sizes.sum()) for f in fused)),
+        blocks_written=int(sum(int(f.write_sizes.sum()) for f in fused)),
+        peak_memory_records=peak,
+        net_memory_records=net,
+    )
+
+
+# --------------------------------------------------------------- strict mode
+def _execute_strict(system: ParallelDiskSystem, plan: IOPlan) -> None:
+    g = system.geometry
+    for pas in plan.passes:
+        stream = np.empty(pas.num_read_blocks * g.B, dtype=system.dtype)
+        cursor = 0
+        system.stats.begin_pass(pas.label)
+        try:
+            for step in pas.steps:
+                if step.kind == "read":
+                    values = system.read_blocks(
+                        step.portion, step.block_ids, consume=step.consume
+                    )
+                    stream[cursor : cursor + values.size] = values.reshape(-1)
+                    cursor += values.size
+                else:
+                    if step.source.size and (
+                        int(step.source.min()) < 0 or int(step.source.max()) >= cursor
+                    ):
+                        raise PlanError(
+                            f"pass {pas.label!r}: write sources slots outside the "
+                            f"records read so far ([0, {cursor}))"
+                        )
+                    system.write_blocks(
+                        step.portion,
+                        step.block_ids,
+                        stream[step.source].reshape(step.num_blocks, g.B),
+                    )
+        finally:
+            system.stats.end_pass()
+
+
+# ----------------------------------------------------------------- fast mode
+def _portion_groups(portions: np.ndarray, rec_portions: np.ndarray):
+    """Yield ``(portion, record_indexer)`` pairs; a full slice when uniform."""
+    uniq = np.unique(portions)
+    if uniq.size <= 1:
+        if uniq.size:
+            yield int(uniq[0]), slice(None)
+        return
+    for p in uniq:
+        yield int(p), rec_portions == p
+
+
+def _execute_fast(system: ParallelDiskSystem, plan: IOPlan) -> None:
+    g = system.geometry
+    fused = [_fuse_pass(system, p) for p in plan.passes]
+    for f in fused:
+        _check_pass(system, f)
+    _check_memory(system, fused)
+
+    data = system._data
+    for f in fused:
+        # Gather the pass's whole read stream from the pre-pass snapshot.
+        stream = np.empty(f.read_addr.size, dtype=system.dtype)
+        for portion, idx in _portion_groups(f.read_portions, f.rec_read_portion):
+            stream[idx] = data[portion, f.read_addr[idx]]
+
+        consume = f.resolved_consume(system.simple_io)
+        rec_consume = np.repeat(consume, f.read_sizes * g.B)
+        if rec_consume.any():
+            consumed = stream[rec_consume]
+            empty = system._is_empty(consumed)
+            if empty.any():
+                consumed_blocks = np.repeat(f.read_ids, g.B)[rec_consume]
+                bad = np.unique(consumed_blocks[empty.reshape(-1)])
+                raise BlockStateError(
+                    f"reading empty/partial blocks {list(bad)} under simple I/O"
+                )
+
+        if system.simple_io and f.write_addr.size:
+            for portion, idx in _portion_groups(f.write_portions, f.rec_write_portion):
+                occupied = ~system._is_empty(data[portion, f.write_addr[idx]])
+                if occupied.any():
+                    bad = np.unique((f.write_addr[idx])[occupied] >> g.b)
+                    raise BlockStateError(
+                        f"writing to non-empty blocks under simple I/O: {list(bad)}"
+                    )
+
+        # Mutate: consume sources, then scatter targets (disjoint by the
+        # fusability check, so ordering is immaterial).
+        if rec_consume.any():
+            for portion, idx in _portion_groups(f.read_portions, f.rec_read_portion):
+                mask = rec_consume if isinstance(idx, slice) else (idx & rec_consume)
+                data[portion, f.read_addr[mask]] = system.empty
+        if f.write_addr.size:
+            out = stream[f.write_source]
+            for portion, idx in _portion_groups(f.write_portions, f.rec_write_portion):
+                data[portion, f.write_addr[idx]] = out[idx]
+
+        system.stats.record_pass_batch(
+            f.label,
+            parallel_reads=int(f.read_sizes.size),
+            parallel_writes=int(f.write_sizes.size),
+            striped_reads=int(f.read_striped.sum()),
+            striped_writes=int(f.write_striped.sum()),
+            blocks_read=int(f.read_sizes.sum()),
+            blocks_written=int(f.write_sizes.sum()),
+        )
+        mem = system.memory
+        mem.in_use += f.mem_net
+        if f.mem_peak > mem.peak:
+            mem.peak = f.mem_peak
+
+
+# ------------------------------------------------------------------ dispatch
+def execute_plan(
+    system: ParallelDiskSystem,
+    plan: IOPlan,
+    engine: str = "strict",
+) -> None:
+    """Execute an I/O plan under the chosen engine.
+
+    ``strict`` replays step-by-step with full per-operation rule
+    enforcement; ``fast`` validates up front and executes fused.  Both
+    leave byte-identical portions and identical stats.  With observers
+    attached, ``fast`` falls back to strict so every
+    :class:`~repro.pdm.system.IOEvent` is still delivered.
+    """
+    if engine not in ENGINES:
+        raise ValidationError(f"unknown engine {engine!r}; choose from {ENGINES}")
+    if plan.geometry != system.geometry:
+        raise ValidationError("plan and system geometries differ")
+    if engine == "fast" and not system._observers:
+        _execute_fast(system, plan)
+    else:
+        _execute_strict(system, plan)

@@ -1,0 +1,276 @@
+"""Declarative I/O plans: *what* an algorithm does, divorced from execution.
+
+An :class:`IOPlan` is an ordered sequence of *passes*, each an ordered
+sequence of parallel-I/O steps (:class:`IOStep`).  A step is either a
+parallel **read** of up to ``D`` blocks or a parallel **write**; the
+records a pass reads form its *read stream* (slot ``i`` is the ``i``-th
+record read within the pass, in step order, block-major, offset order
+within a block), and every write step names its payload as slot indices
+into that stream.  The in-memory permutation an algorithm applies
+between reading and writing a memoryload is therefore captured
+declaratively by the ``source`` slot arrays -- no callback, no data.
+
+Plans are pure descriptions: building one performs no I/O and touches no
+:class:`~repro.pdm.system.ParallelDiskSystem`.  The planners in
+:mod:`repro.core` emit plans; :mod:`repro.pdm.engine` executes them
+either *strictly* (step-by-step through the counted, rule-checked
+``read_blocks``/``write_blocks`` path) or *fast* (validated up front,
+then fused numpy gather/scatter over whole passes).  Both modes produce
+byte-identical portions and identical :class:`~repro.pdm.stats.IOStats`.
+
+This mirrors how external-memory schedules are treated as first-class
+objects independent of the machine that runs them (cf. Guidesort's pass
+schedules, arXiv:1807.11328).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.pdm.geometry import DiskGeometry
+
+__all__ = ["IOStep", "PlanPass", "IOPlan", "PlanBuilder"]
+
+
+class IOStep:
+    """One parallel I/O: a read or a write of up to ``D`` blocks.
+
+    ``block_ids`` is the int64 array of global block numbers, at most one
+    per disk.  For writes, ``source`` holds ``k * B`` slot indices into
+    the enclosing pass's read stream (the records to put down, in block-
+    major order).  For reads, ``consume`` overrides the system's
+    ``simple_io`` default (``None`` defers to it); the run-time detector
+    uses ``consume=False`` to inspect records without moving them.
+
+    Steps are immutable: the fast engine caches fused per-pass metadata
+    keyed by step count, so rebinding a field in place would silently
+    desynchronize it.  Build a new step (and a new pass) instead.
+    """
+
+    __slots__ = ("kind", "portion", "block_ids", "source", "consume")
+
+    def __init__(
+        self,
+        kind: str,
+        portion: int,
+        block_ids: np.ndarray,
+        source: np.ndarray | None = None,
+        consume: bool | None = None,
+    ) -> None:
+        if kind not in ("read", "write"):
+            raise ValidationError(f"step kind must be 'read' or 'write', got {kind!r}")
+        set_ = super().__setattr__
+        set_("kind", kind)
+        set_("portion", int(portion))
+        set_("block_ids", np.asarray(block_ids, dtype=np.int64))
+        set_("source", None if source is None else np.asarray(source, dtype=np.int64))
+        set_("consume", consume)
+
+    def __setattr__(self, name, value):
+        raise AttributeError(f"IOStep is immutable; cannot set {name!r}")
+
+    @property
+    def num_blocks(self) -> int:
+        return self.block_ids.size
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"IOStep({self.kind}, portion={self.portion}, blocks={list(self.block_ids)})"
+
+
+class PlanPass:
+    """A labelled pass: the unit of the paper's upper bounds.
+
+    The pass label becomes the :class:`~repro.pdm.stats.PassStats` label
+    when the plan is executed, so measured I/O tables attribute every
+    operation exactly as the hand-written performers did.
+    """
+
+    __slots__ = ("label", "steps", "_fused")
+
+    def __init__(self, label: str, steps: list[IOStep] | None = None) -> None:
+        self.label = label
+        self.steps = steps if steps is not None else []
+        self._fused: dict = {}  # engine-side fused-metadata cache
+
+    @property
+    def num_read_blocks(self) -> int:
+        return sum(s.num_blocks for s in self.steps if s.kind == "read")
+
+    @property
+    def num_write_blocks(self) -> int:
+        return sum(s.num_blocks for s in self.steps if s.kind == "write")
+
+    @property
+    def parallel_ios(self) -> int:
+        return len(self.steps)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PlanPass({self.label!r}, steps={len(self.steps)})"
+
+
+class IOPlan:
+    """An ordered sequence of passes over one geometry.
+
+    Composition helpers chain plans into multi-pass pipelines: the
+    Theorem 21 BMMC algorithm concatenates one plan per factor,
+    ping-ponging portions between passes.
+    """
+
+    __slots__ = ("geometry", "passes")
+
+    def __init__(self, geometry: DiskGeometry, passes: list[PlanPass] | None = None) -> None:
+        self.geometry = geometry
+        self.passes = passes if passes is not None else []
+
+    # ---------------------------------------------------------- composition
+    def extend(self, other: "IOPlan") -> "IOPlan":
+        """Append ``other``'s passes after this plan's (same geometry)."""
+        if other.geometry != self.geometry:
+            raise ValidationError("cannot chain plans over different geometries")
+        return IOPlan(self.geometry, self.passes + other.passes)
+
+    @classmethod
+    def concatenate(cls, plans: Sequence["IOPlan"]) -> "IOPlan":
+        """Chain a sequence of plans into one multi-pass plan."""
+        if not plans:
+            raise ValidationError("cannot concatenate zero plans")
+        result = plans[0]
+        for plan in plans[1:]:
+            result = result.extend(plan)
+        return result
+
+    # -------------------------------------------------------------- queries
+    @property
+    def num_passes(self) -> int:
+        return len(self.passes)
+
+    @property
+    def num_steps(self) -> int:
+        return sum(len(p.steps) for p in self.passes)
+
+    @property
+    def parallel_ios(self) -> int:
+        return self.num_steps
+
+    @property
+    def blocks_moved(self) -> int:
+        return sum(p.num_read_blocks + p.num_write_blocks for p in self.passes)
+
+    def describe(self) -> str:
+        lines = [
+            f"IOPlan over {self.geometry.describe()}",
+            f"  {self.num_passes} passes, {self.parallel_ios} parallel I/Os, "
+            f"{self.blocks_moved} blocks moved",
+        ]
+        for p in self.passes:
+            lines.append(
+                f"  pass {p.label!r}: {p.parallel_ios} steps "
+                f"({p.num_read_blocks} blocks read, {p.num_write_blocks} written)"
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"IOPlan(passes={self.num_passes}, steps={self.num_steps})"
+
+
+class PlanBuilder:
+    """Incremental :class:`IOPlan` construction with read-stream accounting.
+
+    ``read*`` methods return the slot indices their records occupy in the
+    current pass's read stream; planners permute those slot arrays (pure
+    index arithmetic) and hand them to ``write*``.  Mirrors the striped
+    and memoryload sugar of :class:`~repro.pdm.system.ParallelDiskSystem`
+    so planners read like the performers they replace.
+    """
+
+    def __init__(self, geometry: DiskGeometry) -> None:
+        self.geometry = geometry
+        self._passes: list[PlanPass] = []
+        self._current: PlanPass | None = None
+        self._cursor = 0  # records read so far in the current pass
+
+    # ---------------------------------------------------------------- passes
+    def begin_pass(self, label: str) -> "PlanBuilder":
+        self._current = PlanPass(label)
+        self._passes.append(self._current)
+        self._cursor = 0
+        return self
+
+    def _require_pass(self) -> PlanPass:
+        if self._current is None:
+            raise ValidationError("begin_pass() before adding steps")
+        return self._current
+
+    # ----------------------------------------------------------------- steps
+    def read(
+        self,
+        portion: int,
+        block_ids: Iterable[int] | np.ndarray,
+        consume: bool | None = None,
+    ) -> np.ndarray:
+        """Plan one parallel read; returns the slots its records occupy."""
+        p = self._require_pass()
+        step = IOStep("read", portion, block_ids, consume=consume)
+        p.steps.append(step)
+        slots = np.arange(
+            self._cursor, self._cursor + step.num_blocks * self.geometry.B, dtype=np.int64
+        )
+        self._cursor = int(slots[-1]) + 1 if slots.size else self._cursor
+        return slots
+
+    def write(
+        self,
+        portion: int,
+        block_ids: Iterable[int] | np.ndarray,
+        source: np.ndarray,
+    ) -> None:
+        """Plan one parallel write of records at ``source`` stream slots."""
+        p = self._require_pass()
+        step = IOStep("write", portion, block_ids, source=source)
+        expect = step.num_blocks * self.geometry.B
+        if step.source.shape != (expect,):
+            raise ValidationError(
+                f"write source expects {expect} slots "
+                f"({step.num_blocks} blocks x B={self.geometry.B}), "
+                f"got shape {step.source.shape}"
+            )
+        if expect and (step.source.min() < 0 or step.source.max() >= self._cursor):
+            raise ValidationError(
+                "write sources records not yet read: slots must lie in "
+                f"[0, {self._cursor}), got range "
+                f"[{step.source.min()}, {step.source.max()}]"
+            )
+        p.steps.append(step)
+
+    # --------------------------------------------------------- striped sugar
+    def read_stripe(self, portion: int, stripe: int, consume: bool | None = None) -> np.ndarray:
+        """Plan a striped read; slots come back in ascending address order."""
+        return self.read(portion, self.geometry.stripe_blocks(stripe), consume=consume)
+
+    def write_stripe(self, portion: int, stripe: int, source: np.ndarray) -> None:
+        """Plan a striped write from ``BD`` slots in address order."""
+        self.write(portion, self.geometry.stripe_blocks(stripe), source)
+
+    def read_memoryload(self, portion: int, ml: int, consume: bool | None = None) -> np.ndarray:
+        """Plan ``M/BD`` striped reads of a memoryload; ``M`` slots ascending."""
+        parts = [
+            self.read_stripe(portion, stripe, consume=consume)
+            for stripe in self.geometry.memoryload_stripes(ml)
+        ]
+        return np.concatenate(parts)
+
+    def write_memoryload(self, portion: int, ml: int, source: np.ndarray) -> None:
+        """Plan ``M/BD`` striped writes of a memoryload from ``M`` slots."""
+        g = self.geometry
+        if source.shape != (g.M,):
+            raise ValidationError(f"memoryload write expects {(g.M,)} slots, got {source.shape}")
+        per = g.records_per_stripe
+        for i, stripe in enumerate(g.memoryload_stripes(ml)):
+            self.write_stripe(portion, stripe, source[i * per : (i + 1) * per])
+
+    # ----------------------------------------------------------------- build
+    def build(self) -> IOPlan:
+        return IOPlan(self.geometry, self._passes)

@@ -113,6 +113,44 @@ class IOStats:
             else:
                 p.independent_writes += 1
 
+    def record_pass_batch(
+        self,
+        label: str,
+        parallel_reads: int,
+        parallel_writes: int,
+        striped_reads: int,
+        striped_writes: int,
+        blocks_read: int,
+        blocks_written: int,
+    ) -> PassStats:
+        """Account a whole pass in one update (the fast engine's path).
+
+        Produces exactly the counters that ``begin_pass`` + per-operation
+        ``record_read``/``record_write`` + ``end_pass`` would have, so
+        snapshots and pass tables cannot tell the two engines apart.
+        """
+        p = PassStats(
+            label,
+            parallel_reads=parallel_reads,
+            parallel_writes=parallel_writes,
+            striped_reads=striped_reads,
+            striped_writes=striped_writes,
+            independent_reads=parallel_reads - striped_reads,
+            independent_writes=parallel_writes - striped_writes,
+            blocks_read=blocks_read,
+            blocks_written=blocks_written,
+        )
+        self.passes.append(p)
+        self.parallel_reads += parallel_reads
+        self.parallel_writes += parallel_writes
+        self.striped_reads += striped_reads
+        self.striped_writes += striped_writes
+        self.independent_reads += p.independent_reads
+        self.independent_writes += p.independent_writes
+        self.blocks_read += blocks_read
+        self.blocks_written += blocks_written
+        return p
+
     # ---------------------------------------------------------------- passes
     def begin_pass(self, label: str) -> PassStats:
         """Open a labelled pass; subsequent I/Os accrue to it."""

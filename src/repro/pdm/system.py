@@ -43,6 +43,17 @@ __all__ = ["ParallelDiskSystem", "IOEvent", "EMPTY"]
 EMPTY: int = -1
 
 
+def _coerce_block_ids(block_ids: Iterable[int] | np.ndarray) -> np.ndarray:
+    """Normalize a parallel I/O's block ids to a 1-D int64 array."""
+    try:
+        ids = np.asarray(block_ids, dtype=np.int64)
+    except TypeError:  # a generator/iterator: materialize once
+        ids = np.asarray(list(block_ids), dtype=np.int64)
+    if ids.ndim != 1:
+        raise ValidationError(f"block ids must be one-dimensional, got shape {ids.shape}")
+    return ids
+
+
 class IOEvent:
     """Observer payload describing one parallel I/O operation."""
 
@@ -182,15 +193,19 @@ class ParallelDiskSystem:
         emptied; reading an empty block raises :class:`BlockStateError`.
         """
         g = self.geometry
-        block_ids = np.asarray(list(block_ids) if not isinstance(block_ids, np.ndarray) else block_ids, dtype=np.int64)
+        block_ids = _coerce_block_ids(block_ids)
         self._validate_op(portion, block_ids)
         consume = self.simple_io if consume is None else consume
         starts = g.block_start(block_ids)
         gather = (starts[:, None] + np.arange(g.B, dtype=np.int64)[None, :]).reshape(-1)
         values = self._data[portion, gather].reshape(block_ids.size, g.B)
-        if consume and self._is_empty(values).any():
-            bad = block_ids[self._is_empty(values).any(axis=1)]
-            raise BlockStateError(f"reading empty/partial blocks {list(bad)} under simple I/O")
+        if consume:
+            empty = self._is_empty(values)
+            if empty.any():
+                bad = block_ids[empty.any(axis=1)]
+                raise BlockStateError(
+                    f"reading empty/partial blocks {list(bad)} under simple I/O"
+                )
         self.memory.allocate(block_ids.size * g.B)
         if consume:
             self._data[portion, gather] = self.empty
@@ -210,7 +225,7 @@ class ParallelDiskSystem:
         released.  Under simple I/O the target blocks must be empty.
         """
         g = self.geometry
-        block_ids = np.asarray(list(block_ids) if not isinstance(block_ids, np.ndarray) else block_ids, dtype=np.int64)
+        block_ids = _coerce_block_ids(block_ids)
         self._validate_op(portion, block_ids)
         values = np.asarray(values, dtype=self.dtype)
         if values.shape != (block_ids.size, g.B):

@@ -1,0 +1,140 @@
+"""Engine equivalence: fast fused execution is indistinguishable from strict.
+
+The contract of :mod:`repro.pdm.engine` is that both engines produce
+byte-identical portion contents and identical I/O accounting for any
+plan.  These tests quantify over random geometries and random
+MRC/MLD/inverse-MLD/BMMC/general instances (Hypothesis), plus the
+deterministic geometry sweep for the multi-pass and composition paths.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bits.random import (
+    random_mld_matrix,
+    random_mrc_matrix,
+    random_nonsingular,
+)
+from repro.core.inverse_mld import perform_mld_composition_pass
+from repro.core.runner import perform_permutation
+from repro.perms.base import ExplicitPermutation
+from repro.perms.bmmc import BMMCPermutation
+from repro.perms.library import bit_reversal
+from repro.pdm.system import ParallelDiskSystem
+
+from tests.conftest import geometry_strategy
+
+
+def fresh(geometry):
+    s = ParallelDiskSystem(geometry)
+    s.fill_identity(0)
+    return s
+
+
+def assert_equivalent(strict: ParallelDiskSystem, fast: ParallelDiskSystem):
+    """Full observable-state comparison between the two engines."""
+    for portion in range(strict.num_portions):
+        assert (strict.portion_values(portion) == fast.portion_values(portion)).all()
+    assert strict.stats.snapshot() == fast.stats.snapshot()
+    assert [p for p in strict.stats.passes] == [p for p in fast.stats.passes]
+    assert strict.memory.peak == fast.memory.peak
+    assert strict.memory.in_use == fast.memory.in_use
+
+
+def make_instance(method, geometry, seed):
+    """A random permutation instance appropriate for ``method``."""
+    g = geometry
+    rng = np.random.default_rng(seed)
+    if method == "mrc":
+        return BMMCPermutation(
+            random_mrc_matrix(g.n, g.m, rng), int(rng.integers(0, g.N))
+        )
+    if method == "mld":
+        return BMMCPermutation(
+            random_mld_matrix(g.n, g.b, g.m, rng), int(rng.integers(0, g.N))
+        )
+    if method == "inv-mld":
+        return BMMCPermutation(
+            random_mld_matrix(g.n, g.b, g.m, rng), int(rng.integers(0, g.N))
+        ).inverse()
+    if method in ("bmmc", "bmmc-unmerged"):
+        return BMMCPermutation(
+            random_nonsingular(g.n, rng), int(rng.integers(0, g.N))
+        )
+    if method == "general":
+        return ExplicitPermutation(rng.permutation(g.N))
+    raise AssertionError(method)
+
+
+@given(
+    geometry_strategy(),
+    st.sampled_from(["mrc", "mld", "inv-mld", "bmmc", "bmmc-unmerged", "general"]),
+    st.integers(0, 2**31),
+)
+@settings(max_examples=40, deadline=None)
+def test_fast_equals_strict_everywhere(geometry, method, seed):
+    g = geometry
+    if method == "general" and 4 * g.B * g.D > g.M:
+        return  # merge sort needs (K+2) BD <= M with K >= 2
+    perm = make_instance(method, g, seed)
+    strict, fast = fresh(g), fresh(g)
+    report_strict = perform_permutation(strict, perm, method=method, engine="strict")
+    report_fast = perform_permutation(fast, perm, method=method, engine="fast")
+    assert report_strict.verified and report_fast.verified
+    assert report_strict.passes == report_fast.passes
+    assert report_strict.final_portion == report_fast.final_portion
+    assert report_strict.io == report_fast.io
+    assert_equivalent(strict, fast)
+
+
+@given(geometry_strategy(), st.integers(0, 2**31))
+@settings(max_examples=20, deadline=None)
+def test_composition_pass_fast_equals_strict(geometry, seed):
+    g = geometry
+    rng = np.random.default_rng(seed)
+    x = BMMCPermutation(random_mld_matrix(g.n, g.b, g.m, rng))
+    y = BMMCPermutation(random_mld_matrix(g.n, g.b, g.m, rng))
+    strict, fast = fresh(g), fresh(g)
+    composed_s = perform_mld_composition_pass(strict, y, x, engine="strict")
+    composed_f = perform_mld_composition_pass(fast, y, x, engine="fast")
+    assert composed_s.matrix == composed_f.matrix
+    assert strict.verify_permutation(composed_s, np.arange(g.N), 1)
+    assert_equivalent(strict, fast)
+
+
+class TestDeterministicSweep:
+    """The fixed geometry sweep exercises corner cases (D=1, B=1, BD=M)."""
+
+    def test_multi_pass_bmmc(self, any_geometry):
+        g = any_geometry
+        perm = bit_reversal(g.n)
+        strict, fast = fresh(g), fresh(g)
+        rs = perform_permutation(strict, perm, method="bmmc", engine="strict")
+        rf = perform_permutation(fast, perm, method="bmmc", engine="fast")
+        assert rs.verified and rf.verified
+        assert rs.passes == rf.passes
+        assert_equivalent(strict, fast)
+
+    def test_general_sort(self, any_geometry):
+        g = any_geometry
+        if 4 * g.B * g.D > g.M:
+            pytest.skip("merge sort needs M >= 4BD")
+        perm = ExplicitPermutation(np.random.default_rng(7).permutation(g.N))
+        strict, fast = fresh(g), fresh(g)
+        rs = perform_permutation(strict, perm, method="general", engine="strict")
+        rf = perform_permutation(fast, perm, method="general", engine="fast")
+        assert rs.verified and rf.verified
+        assert_equivalent(strict, fast)
+
+    def test_auto_dispatch_with_fast_engine(self, small_geometry):
+        g = small_geometry
+        perm = BMMCPermutation(
+            random_mld_matrix(g.n, g.b, g.m, np.random.default_rng(3))
+        )
+        strict, fast = fresh(g), fresh(g)
+        rs = perform_permutation(strict, perm, engine="strict")
+        rf = perform_permutation(fast, perm, engine="fast")
+        assert rs.method == rf.method == "mld"
+        assert_equivalent(strict, fast)

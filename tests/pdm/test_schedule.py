@@ -1,0 +1,126 @@
+"""Tests for declarative I/O plans (:mod:`repro.pdm.schedule`)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.pdm.geometry import DiskGeometry
+from repro.pdm.schedule import IOPlan, IOStep, PlanBuilder, PlanPass
+
+
+@pytest.fixture
+def geometry() -> DiskGeometry:
+    return DiskGeometry(N=2**10, B=2**3, D=2**2, M=2**7)
+
+
+class TestIOStep:
+    def test_kind_validated(self):
+        with pytest.raises(ValidationError):
+            IOStep("move", 0, [0])
+
+    def test_block_ids_coerced(self):
+        step = IOStep("read", 0, [3, 1])
+        assert step.block_ids.dtype == np.int64
+        assert step.num_blocks == 2
+
+
+class TestPlanBuilder:
+    def test_read_returns_consecutive_slots(self, geometry):
+        b = PlanBuilder(geometry)
+        b.begin_pass("p")
+        s1 = b.read(0, [0, 1])
+        s2 = b.read(0, [4])
+        assert list(s1) == list(range(2 * geometry.B))
+        assert list(s2) == list(range(2 * geometry.B, 3 * geometry.B))
+
+    def test_slots_reset_per_pass(self, geometry):
+        b = PlanBuilder(geometry)
+        b.begin_pass("p1")
+        b.read(0, [0])
+        b.begin_pass("p2")
+        slots = b.read(0, [1])
+        assert slots[0] == 0
+
+    def test_step_before_pass_rejected(self, geometry):
+        b = PlanBuilder(geometry)
+        with pytest.raises(ValidationError):
+            b.read(0, [0])
+
+    def test_write_shape_checked(self, geometry):
+        b = PlanBuilder(geometry)
+        b.begin_pass("p")
+        slots = b.read(0, [0, 1])
+        with pytest.raises(ValidationError):
+            b.write(1, [0, 1], slots[: geometry.B])  # half the records
+
+    def test_write_of_unread_slots_rejected(self, geometry):
+        b = PlanBuilder(geometry)
+        b.begin_pass("p")
+        b.read(0, [0])
+        with pytest.raises(ValidationError):
+            b.write(1, [0], np.arange(geometry.B) + geometry.B)  # beyond cursor
+
+    def test_memoryload_sugar_round_trip(self, geometry):
+        g = geometry
+        b = PlanBuilder(g)
+        b.begin_pass("p")
+        slots = b.read_memoryload(0, 0)
+        assert slots.shape == (g.M,)
+        b.write_memoryload(1, 0, slots)
+        plan = b.build()
+        # M/BD striped reads + M/BD striped writes
+        assert plan.parallel_ios == 2 * g.stripes_per_memoryload
+
+    def test_memoryload_write_shape_checked(self, geometry):
+        b = PlanBuilder(geometry)
+        b.begin_pass("p")
+        slots = b.read_memoryload(0, 0)
+        with pytest.raises(ValidationError):
+            b.write_memoryload(1, 0, slots[:-1])
+
+
+class TestIOPlan:
+    def _one_pass_plan(self, g, label="p"):
+        b = PlanBuilder(g)
+        b.begin_pass(label)
+        slots = b.read_memoryload(0, 0)
+        b.write_memoryload(1, 0, slots)
+        return b.build()
+
+    def test_counts(self, geometry):
+        g = geometry
+        plan = self._one_pass_plan(g)
+        assert plan.num_passes == 1
+        assert plan.parallel_ios == plan.num_steps == 2 * g.stripes_per_memoryload
+        assert plan.blocks_moved == 2 * g.blocks_per_memoryload
+
+    def test_concatenate(self, geometry):
+        p1 = self._one_pass_plan(geometry, "a")
+        p2 = self._one_pass_plan(geometry, "b")
+        combined = IOPlan.concatenate([p1, p2])
+        assert combined.num_passes == 2
+        assert [p.label for p in combined.passes] == ["a", "b"]
+
+    def test_concatenate_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            IOPlan.concatenate([])
+
+    def test_extend_geometry_mismatch(self, geometry):
+        other = DiskGeometry(N=2**11, B=2**3, D=2**2, M=2**7)
+        p1 = self._one_pass_plan(geometry)
+        p2 = self._one_pass_plan(other)
+        with pytest.raises(ValidationError):
+            p1.extend(p2)
+
+    def test_describe_mentions_passes(self, geometry):
+        plan = self._one_pass_plan(geometry, "my-pass")
+        text = plan.describe()
+        assert "my-pass" in text and "passes" in text
+
+    def test_pass_block_counts(self, geometry):
+        g = geometry
+        plan = self._one_pass_plan(g)
+        pas = plan.passes[0]
+        assert isinstance(pas, PlanPass)
+        assert pas.num_read_blocks == g.blocks_per_memoryload
+        assert pas.num_write_blocks == g.blocks_per_memoryload
