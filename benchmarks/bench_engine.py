@@ -15,8 +15,21 @@ bench measures the bargain across growing ``N`` and asserts it is free:
   additionally pays a one-time fuse+validate cost, reported separately
   as ``fast cold``).
 
-Results: ``benchmarks/results/BENCH_engine.md`` plus a machine-readable
-``benchmarks/results/BENCH_engine.json`` for CI trend tracking.
+Two further suites cover the PR-2 optimizer stack:
+
+* ``test_engine_huge_n_streaming`` runs ``N = 2^22`` and ``2^24``
+  under the streaming fast executor and *asserts the host-memory
+  guard*: the executor's peak read-stream buffer stays at the chunk
+  budget, far below one full pass's O(N) stream.
+* ``test_optimizer_cache_speedup`` measures cold (plan + compile +
+  execute) vs. warm (compiled-plan cache hit) service times at
+  ``N = 2^18`` and asserts warm is at least
+  ``BENCH_CACHE_SPEEDUP_FLOOR``x (default 3x) faster, plus optimized
+  vs. unoptimized execution of the multi-pass plan.
+
+Results: ``benchmarks/results/BENCH_engine.md`` plus machine-readable
+``BENCH_engine.json`` and ``BENCH_optimizer.json`` for CI trend
+tracking.
 """
 
 import json
@@ -27,9 +40,11 @@ import numpy as np
 
 from repro.bits.random import random_mld_matrix
 from repro.core.bmmc_algorithm import plan_bmmc_io, plan_bmmc_passes
-from repro.core.mld_algorithm import plan_mld_pass
+from repro.core.mld_algorithm import perform_mld_pass, plan_mld_pass
+from repro.pdm.cache import PlanCache
 from repro.pdm.engine import execute_plan
 from repro.pdm.geometry import DiskGeometry
+from repro.pdm.optimize import optimize_plan
 from repro.pdm.system import ParallelDiskSystem
 from repro.perms.bmmc import BMMCPermutation
 from repro.perms.library import bit_reversal
@@ -45,6 +60,29 @@ SHAPE = dict(B=2**4, D=2**3, M=2**11)
 #: catches "fast stopped being fast" regressions at any setting > 1).
 SPEEDUP_FLOOR = float(os.environ.get("BENCH_ENGINE_SPEEDUP_FLOOR", "5.0"))
 SPEEDUP_AT_N = 18
+
+#: Huge-N streaming sweep; CI caps it via BENCH_HUGE_MAX_N to keep the
+#: smoke job light (the full 2^24 run wants ~1.5 GB of host arrays).
+HUGE_N = [22, 24]
+HUGE_MAX_N = int(os.environ.get("BENCH_HUGE_MAX_N", "24"))
+
+#: Streaming chunk budget for the huge-N runs (records).
+STREAM_BUDGET = 1 << 20
+
+#: Warm cache-hit service must beat cold by at least this factor.
+CACHE_SPEEDUP_FLOOR = float(os.environ.get("BENCH_CACHE_SPEEDUP_FLOOR", "3.0"))
+
+
+def _update_optimizer_results(section: str, payload) -> None:
+    """Merge one section into BENCH_optimizer.json (tests are runnable
+    individually, so the file is read-modify-write)."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / "BENCH_optimizer.json"
+    data = json.loads(path.read_text()) if path.exists() else {}
+    data["shape"] = SHAPE
+    data["seed"] = SEED
+    data[section] = payload
+    path.write_text(json.dumps(data, indent=2) + "\n")
 
 
 def _time(fn, rounds=3):
@@ -157,5 +195,198 @@ def test_engine_strict_vs_fast(benchmark):
         "BENCH_engine",
         "strict vs fast plan execution (median wall-clock, ms)",
         ["N", "plan", "parallel I/Os", "strict", "fast cold", "fast warm", "speedup"],
+        rows,
+    )
+
+
+def test_engine_huge_n_streaming(benchmark):
+    """N = 2^22 / 2^24 under the streaming fast executor.
+
+    The memory guard: both executors used to buffer a pass's whole read
+    stream on the host (O(N)); the streaming executor must keep its
+    peak buffer at the chunk budget -- asserted strictly below one full
+    pass's stream and at most the requested budget -- while producing a
+    verified permutation with exact 2N/BD-per-pass accounting.
+    """
+    sweep = [n for n in HUGE_N if n <= HUGE_MAX_N]
+    if not sweep:
+        import pytest
+
+        pytest.skip(f"BENCH_HUGE_MAX_N={HUGE_MAX_N} disables the huge-N sweep")
+
+    rows = []
+    records = []
+
+    def run():
+        for n in sweep:
+            g = DiskGeometry(N=2**n, **SHAPE)
+            rng = np.random.default_rng(SEED + n)
+            perm = BMMCPermutation(random_mld_matrix(g.n, g.b, g.m, rng))
+
+            t0 = time.perf_counter()
+            plan = plan_mld_pass(g, perm)
+            t_plan = time.perf_counter() - t0
+
+            s = ParallelDiskSystem(g)
+            s.fill_identity(0)
+            t0 = time.perf_counter()
+            report = execute_plan(
+                s, plan, engine="fast", stream_records=STREAM_BUDGET
+            )
+            t_exec = time.perf_counter() - t0
+
+            # ---- the guard: streaming engaged, host buffer bounded ----
+            full_stream = g.N  # one pass reads every record once
+            assert report.streamed_passes == plan.num_passes
+            assert report.host_peak_records < full_stream, (
+                f"host peak {report.host_peak_records} not below a full "
+                f"pass stream ({full_stream}) at N=2^{n}"
+            )
+            assert report.host_peak_records <= STREAM_BUDGET
+
+            # Correctness + paper accounting at scale.
+            assert s.verify_permutation(perm, np.arange(g.N), 1)
+            assert s.stats.parallel_ios == g.one_pass_ios
+            assert s.memory.peak <= g.M
+
+            rows.append(
+                [
+                    f"2^{n}",
+                    plan.num_passes,
+                    s.stats.parallel_ios,
+                    f"{t_plan * 1e3:.0f}",
+                    f"{t_exec * 1e3:.0f}",
+                    report.host_peak_records,
+                    f"1/{full_stream // report.host_peak_records}",
+                ]
+            )
+            records.append(
+                dict(
+                    N=2**n,
+                    passes=plan.num_passes,
+                    parallel_ios=s.stats.parallel_ios,
+                    plan_s=t_plan,
+                    fast_stream_s=t_exec,
+                    host_peak_records=report.host_peak_records,
+                    full_stream_records=full_stream,
+                    stream_budget=STREAM_BUDGET,
+                    guard="host_peak_records < full_stream_records",
+                )
+            )
+            del s, plan  # free ~O(N) arrays before the next size
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    _update_optimizer_results("streaming", records)
+    write_result(
+        "BENCH_engine_streaming",
+        "huge-N fast execution with liveness streaming (host buffer guard)",
+        ["N", "passes", "parallel I/Os", "plan ms", "exec ms",
+         "host peak records", "peak / full stream"],
+        rows,
+    )
+
+
+def test_optimizer_cache_speedup(benchmark):
+    """Cold vs. warm (cache-hit) service and optimized vs. plain fast.
+
+    Cold = plan + compile (fuse, validate, optimize) + execute; warm =
+    compiled-plan cache hit, straight to gather/scatter.  This is the
+    repeated-traffic serving shape: the floor asserts warm is at least
+    CACHE_SPEEDUP_FLOOR x faster at N = 2^18.  The optimizer column
+    compares plain fast execution of the multi-pass Theorem 21 plan
+    with the fused cross-pass rewrite (same plan, same stats).
+    """
+    n = SPEEDUP_AT_N
+    g = DiskGeometry(N=2**n, **SHAPE)
+    rng = np.random.default_rng(SEED + n)
+    mld = BMMCPermutation(random_mld_matrix(g.n, g.b, g.m, rng))
+    rev = bit_reversal(g.n)
+
+    payload = {}
+    rows = []
+
+    def run():
+        # ---- cold vs warm through the plan cache (MLD, one pass) ----
+        def serve(cache):
+            s = ParallelDiskSystem(g)
+            s.fill_identity(0)
+            t0 = time.perf_counter()
+            perform_mld_pass(s, mld, engine="fast", optimize=True, cache=cache)
+            return time.perf_counter() - t0, s
+
+        cache = PlanCache()
+        t_cold, s_cold = serve(cache)
+        warm_times = []
+        for _ in range(3):
+            t, s_warm = serve(cache)
+            warm_times.append(t)
+        t_warm = sorted(warm_times)[len(warm_times) // 2]
+        assert cache.info().hits == 3 and cache.info().misses == 1
+        assert (s_cold.portion_values(1) == s_warm.portion_values(1)).all()
+        assert s_cold.stats.snapshot() == s_warm.stats.snapshot()
+        speedup = t_cold / t_warm
+        assert speedup >= CACHE_SPEEDUP_FLOOR, (
+            f"warm cache-hit only {speedup:.1f}x faster than cold at "
+            f"N=2^{n}; need {CACHE_SPEEDUP_FLOOR}x"
+        )
+
+        # ---- optimized vs plain fast (multi-pass BMMC) --------------
+        steps = plan_bmmc_passes(rev, g)
+        plan, final = plan_bmmc_io(g, steps)
+        op = optimize_plan(plan)
+
+        def run_plain():
+            s = ParallelDiskSystem(g)
+            s.fill_identity(0)
+            execute_plan(s, plan, engine="fast")
+            return s
+
+        def run_opt():
+            s = ParallelDiskSystem(g)
+            s.fill_identity(0)
+            op.execute(s)
+            return s
+
+        s_plain, s_opt = run_plain(), run_opt()  # warm fused caches + check
+        assert s_plain.stats.snapshot() == s_opt.stats.snapshot()
+        assert (
+            s_plain.portion_values(final) == s_opt.portion_values(final)
+        ).all()
+        t_plain = _time(run_plain)
+        t_opt = _time(run_opt)
+
+        payload.update(
+            N=2**n,
+            cold_s=t_cold,
+            warm_s=t_warm,
+            warm_speedup=speedup,
+            speedup_floor=CACHE_SPEEDUP_FLOOR,
+            bmmc_passes=plan.num_passes,
+            fast_plain_s=t_plain,
+            fast_optimized_s=t_opt,
+            optimized_speedup=t_plain / t_opt,
+            optimizer=op.report.summary(),
+        )
+        rows.append(
+            [
+                f"2^{n}",
+                f"{t_cold * 1e3:.1f}",
+                f"{t_warm * 1e3:.1f}",
+                f"{speedup:.1f}x",
+                f"{t_plain * 1e3:.1f}",
+                f"{t_opt * 1e3:.1f}",
+                f"{t_plain / t_opt:.1f}x",
+            ]
+        )
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    _update_optimizer_results("cache", payload)
+    write_result(
+        "BENCH_optimizer",
+        "compiled-plan cache (cold vs warm) and cross-pass optimizer (ms)",
+        ["N", "cold", "warm hit", "warm speedup",
+         "fast plain", "fast optimized", "opt speedup"],
         rows,
     )

@@ -164,21 +164,60 @@ def cmd_bounds(args) -> int:
 
 
 def cmd_run(args) -> int:
+    import time
+
+    from repro.pdm.cache import PlanCache
+
     g = _geometry(args)
     perm = _make_permutation(args.perm, g, args.seed, args.rank_gamma)
-    system = ParallelDiskSystem(g)
-    system.fill_identity(0)
-    trace = IOTrace(system) if args.timeline or args.trace else None
-    if trace is not None and args.engine == "fast":
-        print("(tracing attaches observers: executing strictly, not fused)")
-    report = perform_permutation(system, perm, method=args.method, engine=args.engine)
-    print(report.summary())
-    if trace is not None:
-        print()
-        print(trace.summary().table())
-        if args.timeline:
+    repeat = max(1, args.repeat)
+    cache = PlanCache() if (args.cache or repeat > 1) else None
+    if repeat > 1 and (args.timeline or args.trace):
+        print("(--repeat disables tracing; run once for a timeline)")
+    if args.optimize and args.engine != "fast":
+        print("(--optimize needs --engine fast; running unoptimized)")
+    report = None
+    for i in range(repeat):
+        system = ParallelDiskSystem(g)
+        system.fill_identity(0)
+        trace = (
+            IOTrace(system) if (args.timeline or args.trace) and repeat == 1 else None
+        )
+        if trace is not None and args.engine == "fast":
+            print("(tracing attaches observers: executing strictly, not fused)")
+        t0 = time.perf_counter()
+        report = perform_permutation(
+            system,
+            perm,
+            method=args.method,
+            engine=args.engine,
+            optimize=args.optimize,
+            cache=cache,
+        )
+        elapsed = time.perf_counter() - t0
+        if repeat > 1:
+            tag = "cold" if i == 0 else "warm"
+            print(f"run {i + 1}/{repeat} ({tag}): {elapsed * 1e3:.2f} ms")
+        if i == repeat - 1:
+            print(report.summary())
+        if trace is not None:
             print()
-            print(render_timeline(trace, max_ops=args.timeline_ops))
+            print(trace.summary().table())
+            if args.timeline:
+                print()
+                print(render_timeline(trace, max_ops=args.timeline_ops))
+    if cache is not None:
+        info = cache.info()
+        if info.hits + info.misses:
+            print(
+                f"plan cache: {info.hits} hits / {info.misses} misses "
+                f"({info.size} compiled plans held)"
+            )
+        else:
+            print(
+                f"plan cache: unused (method {report.method!r} plans are "
+                "data-dependent and never cached)"
+            )
     return 0 if report.verified else 1
 
 
@@ -192,7 +231,7 @@ def cmd_detect(args) -> int:
         print(f"(tampered: swapped targets of addresses {i} and {j})")
     system = ParallelDiskSystem(g, simple_io=False)
     store_target_vector(system, targets)
-    result = detect_bmmc(system)
+    result = detect_bmmc(system, engine=args.engine)
     bound = bounds.detection_read_bound(g)
     if result.is_bmmc:
         print(f"BMMC: yes (complement = {result.complement:#x})")
@@ -313,6 +352,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_run.add_argument("--seed", type=int, default=0)
     p_run.add_argument("--rank-gamma", type=int, default=None)
+    p_run.add_argument(
+        "--optimize",
+        action="store_true",
+        help="plan-level rewrites: fuse ping-pong passes into one physical "
+        "gather/scatter (fast engine; stats unchanged)",
+    )
+    p_run.add_argument(
+        "--cache",
+        action="store_true",
+        help="compile plans into an in-process PlanCache (implied by --repeat > 1)",
+    )
+    p_run.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        help="serve the permutation this many times on fresh data, reporting "
+        "per-run wall time; BMMC-class methods hit the compiled-plan cache "
+        "on repeats (general/distribution schedules are data-dependent "
+        "and uncached)",
+    )
     p_run.add_argument("--trace", action="store_true", help="print schedule metrics")
     p_run.add_argument("--timeline", action="store_true", help="ASCII disk timeline")
     p_run.add_argument("--timeline-ops", type=int, default=64)
@@ -321,6 +380,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_detect = sub.add_parser("detect", help="run-time BMMC detection")
     _add_geometry_args(p_detect)
     p_detect.add_argument("--perm", choices=PERM_CHOICES, default="permuted-gray")
+    p_detect.add_argument(
+        "--engine",
+        choices=list(ENGINES),
+        default="strict",
+        help="detection plans run under either engine; fast fuses the "
+        "verification scan into memoryload-sized chunks",
+    )
     p_detect.add_argument("--seed", type=int, default=0)
     p_detect.add_argument("--rank-gamma", type=int, default=None)
     p_detect.add_argument("--tamper", action="store_true", help="break BMMC-ness")

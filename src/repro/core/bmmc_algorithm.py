@@ -30,6 +30,7 @@ from repro.core.factoring import factor_bmmc
 from repro.core.mld_algorithm import plan_mld_pass
 from repro.core.mrc_algorithm import plan_mrc_pass
 from repro.errors import ValidationError
+from repro.pdm.cache import PlanCache, cached_execute, plan_key
 from repro.pdm.engine import execute_plan
 from repro.pdm.geometry import DiskGeometry
 from repro.pdm.schedule import IOPlan
@@ -157,18 +158,48 @@ def perform_bmmc(
     merge_factors: bool = True,
     plan: list[PlanStep] | None = None,
     engine: str = "strict",
+    optimize: bool = False,
+    cache: PlanCache | None = None,
 ) -> BMMCRunResult:
     """Perform a BMMC permutation on the simulator (Theorem 21's algorithm).
 
     Passes ping-pong between ``source_portion`` and ``target_portion``;
     the returned result reports which portion holds the output (equal to
     ``target_portion`` when the number of passes is odd).
+
+    ``cache`` keys the compiled multi-pass plan (factoring included) by
+    (geometry, matrix, complement); repeated workloads skip
+    classification, factoring, planning, fusing, and validation.
+    ``optimize`` additionally fuses the ping-pong chain into one
+    physical gather/scatter (fast engine only; stats are unchanged).
     """
+    before = system.stats.parallel_ios
+    if cache is not None and plan is None:
+        key = plan_key(
+            "bmmc", system.geometry, perm.matrix, perm.complement,
+            source_portion, target_portion, merge_factors,
+            system.num_portions, system.simple_io,
+        )
+
+        def build():
+            steps = plan_bmmc_passes(perm, system.geometry, merge_factors=merge_factors)
+            io_plan, final = plan_bmmc_io(
+                system.geometry, steps, source_portion, target_portion
+            )
+            return io_plan, {"steps": steps, "final": final}
+
+        compiled, _, _ = cached_execute(
+            system, cache, key, build, engine=engine, optimize=optimize
+        )
+        return BMMCRunResult(
+            steps=compiled.meta["steps"],
+            final_portion=compiled.meta["final"],
+            parallel_ios=system.stats.parallel_ios - before,
+        )
     if plan is None:
         plan = plan_bmmc_passes(perm, system.geometry, merge_factors=merge_factors)
     io_plan, final = plan_bmmc_io(system.geometry, plan, source_portion, target_portion)
-    before = system.stats.parallel_ios
-    execute_plan(system, io_plan, engine=engine)
+    execute_plan(system, io_plan, engine=engine, optimize=optimize)
     return BMMCRunResult(
         steps=plan,
         final_portion=final,

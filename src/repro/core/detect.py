@@ -31,11 +31,20 @@ import numpy as np
 from repro.bits import bitops, linalg
 from repro.bits.matrix import BitMatrix
 from repro.errors import DetectionError
+from repro.pdm.engine import execute_plan
+from repro.pdm.schedule import IOPlan, PlanBuilder
 from repro.pdm.system import ParallelDiskSystem
 from repro.perms.base import Permutation
 from repro.perms.bmmc import BMMCPermutation
 
-__all__ = ["DetectionResult", "detect_bmmc", "store_target_vector", "formation_schedule"]
+__all__ = [
+    "DetectionResult",
+    "detect_bmmc",
+    "store_target_vector",
+    "formation_schedule",
+    "plan_detection_formation",
+    "plan_detection_verification",
+]
 
 
 @dataclass
@@ -111,11 +120,61 @@ def formation_schedule(geometry) -> list[list[tuple[int, int, int]]]:
     return schedule
 
 
+def plan_detection_formation(
+    geometry, portion: int = 0, label: str = "detect:form", schedule=None
+) -> IOPlan:
+    """The candidate-formation reads as a one-pass detection plan.
+
+    All reads are non-consuming (inspection must not destroy the data)
+    and *discarding*: the records leave the M-record memory as soon as
+    they are read, exactly as the hand-written detector's explicit
+    ``memory.release`` did.  Executing the plan with ``capture=True``
+    returns the read stream the formation logic parses -- record order
+    follows ``schedule`` (:func:`formation_schedule` by default), so
+    callers that parse the stream should pass the schedule they parse
+    with rather than recomputing it.
+    """
+    if schedule is None:
+        schedule = formation_schedule(geometry)
+    builder = PlanBuilder(geometry)
+    builder.begin_pass(label)
+    for batch in schedule:
+        builder.read(
+            portion, [entry[0] for entry in batch], consume=False, discard=True
+        )
+    return builder.build()
+
+
+def plan_detection_verification(
+    geometry,
+    portion: int = 0,
+    start_stripe: int = 0,
+    num_stripes: int | None = None,
+    label: str = "detect:verify",
+) -> IOPlan:
+    """A verification-scan chunk: striped, non-consuming, discarding reads.
+
+    The detector executes the scan in chunks so ``early_exit`` can stop
+    between them; each chunk is one pass of ``num_stripes`` striped
+    reads.
+    """
+    g = geometry
+    if num_stripes is None:
+        num_stripes = g.num_stripes - start_stripe
+    builder = PlanBuilder(g)
+    builder.begin_pass(label)
+    for stripe in range(start_stripe, start_stripe + num_stripes):
+        builder.read_stripe(portion, stripe, consume=False, discard=True)
+    return builder.build()
+
+
 def detect_bmmc(
     system: ParallelDiskSystem,
     portion: int = 0,
     verify: bool = True,
     early_exit: bool = True,
+    engine: str = "strict",
+    verify_chunk: int | None = None,
 ) -> DetectionResult:
     """Run-time BMMC detection on a stored target vector.
 
@@ -123,20 +182,37 @@ def detect_bmmc(
     non-consuming: inspection must not destroy the data), then the
     verification scan.  ``early_exit`` stops verification at the first
     stripe containing a counterexample.
+
+    All I/O goes through detection :class:`~repro.pdm.schedule.IOPlan`
+    objects, so the detector runs under either plan engine.  Under
+    ``engine="fast"`` the verification scan executes in fused chunks of
+    ``verify_chunk`` stripes (default: one memoryload's worth), trading
+    early-exit granularity for vectorization -- on a non-BMMC input the
+    detector may read up to one chunk past the first counterexample,
+    and ``verification_reads`` counts the reads actually issued.  The
+    strict default chunks per stripe, reproducing the hand-written
+    detector's exact read counts.
     """
     g = system.geometry
     n, b, d = g.n, g.b, g.d
 
     # ---- step 2: form candidate (A, c) ------------------------------------
+    schedule = formation_schedule(g)
+    report = execute_plan(
+        system,
+        plan_detection_formation(g, portion, schedule=schedule),
+        engine=engine,
+        capture=True,
+    )
+    stream = report.streams[0]
+    formation_reads = len(schedule)
     columns: dict[int, int] = {}
     complement = 0
-    formation_reads = 0
-    for batch in formation_schedule(g):
-        block_ids = [entry[0] for entry in batch]
-        values = system.read_blocks(portion, block_ids, consume=False)
-        system.memory.release(values.size)  # inspected and discarded
-        formation_reads += 1
-        for (block, address, col_index), block_values in zip(batch, values):
+    cursor = 0
+    for batch in schedule:
+        for block, _address, col_index in batch:
+            block_values = stream[cursor : cursor + g.B]
+            cursor += g.B
             y0 = int(block_values[0])
             if col_index == -1:
                 # block 0: offset 0 gives c, offsets 2^k give columns 0..b-1
@@ -173,16 +249,32 @@ def detect_bmmc(
     mismatch_stripe: int | None = None
     if verify:
         per = g.records_per_stripe
-        for stripe in range(g.num_stripes):
-            values = system.read_stripe(portion, stripe, consume=False)
-            system.memory.release(values.size)
-            verification_reads += 1
-            addresses = (stripe * per + np.arange(per, dtype=np.int64)).astype(np.uint64)
+        if verify_chunk is None:
+            verify_chunk = 1 if engine == "strict" else g.stripes_per_memoryload
+        verify_chunk = max(1, int(verify_chunk))  # 0/negative would never advance
+        stripe = 0
+        while stripe < g.num_stripes:
+            hi = min(stripe + verify_chunk, g.num_stripes)
+            chunk_report = execute_plan(
+                system,
+                plan_detection_verification(g, portion, stripe, hi - stripe),
+                engine=engine,
+                capture=True,
+            )
+            values = chunk_report.streams[0]
+            verification_reads += hi - stripe
+            addresses = (
+                stripe * per + np.arange((hi - stripe) * per, dtype=np.int64)
+            ).astype(np.uint64)
             expected = bitops.apply_affine(matrix, complement, addresses)
-            if not (np.asarray(expected, dtype=np.int64) == values.reshape(-1)).all():
-                mismatch_stripe = stripe
+            mismatch = np.asarray(expected, dtype=system.dtype) != values
+            if mismatch_stripe is None and mismatch.any():
+                mismatch_stripe = stripe + int(np.argmax(
+                    mismatch.reshape(hi - stripe, per).any(axis=1)
+                ))
                 if early_exit:
                     break
+            stripe = hi
     if mismatch_stripe is not None:
         return DetectionResult(
             is_bmmc=False,

@@ -216,11 +216,15 @@ def perform_general_sort(
     target_portion: int = 1,
     fan_in: int | None = None,
     engine: str = "strict",
+    optimize: bool = False,
 ) -> GeneralSortResult:
     """Permute by external merge sort on target addresses.
 
     Ping-pongs between the two portions; the result reports where the
-    output landed.
+    output landed.  The schedule is data-dependent, so there is no plan
+    cache, but ``optimize`` still applies: the merge passes ping-pong
+    full portions, so the cross-pass optimizer fuses the whole sort
+    into one physical gather/scatter while reporting per-pass stats.
     """
     g = system.geometry
     plan = plan_general_sort(
@@ -232,7 +236,7 @@ def perform_general_sort(
         fan_in=fan_in,
     )
     before = system.stats.parallel_ios
-    execute_plan(system, plan.io_plan, engine=engine)
+    execute_plan(system, plan.io_plan, engine=engine, optimize=optimize)
     return GeneralSortResult(
         passes=plan.passes,
         fan_in=plan.fan_in,

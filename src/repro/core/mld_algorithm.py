@@ -17,6 +17,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import NotInClassError
+from repro.pdm.cache import PlanCache, cached_execute, plan_key
 from repro.pdm.engine import execute_plan
 from repro.pdm.geometry import DiskGeometry
 from repro.pdm.schedule import IOPlan, PlanBuilder
@@ -95,8 +96,33 @@ def perform_mld_pass(
     label: str = "mld",
     check_class: bool = True,
     engine: str = "strict",
+    optimize: bool = False,
+    cache: PlanCache | None = None,
 ) -> None:
-    """Perform an MLD permutation in one pass (striped reads, independent writes)."""
+    """Perform an MLD permutation in one pass (striped reads, independent writes).
+
+    ``cache`` reuses a compiled plan for repeated (geometry, matrix)
+    workloads; ``optimize`` runs the plan-level rewrites of
+    :mod:`repro.pdm.optimize` (fast engine only).
+    """
+    if cache is not None:
+        key = plan_key(
+            "mld", system.geometry, perm.matrix, perm.complement,
+            source_portion, target_portion, label,
+            system.num_portions, system.simple_io,
+        )
+        cached_execute(
+            system, cache, key,
+            lambda: (
+                plan_mld_pass(
+                    system.geometry, perm, source_portion, target_portion,
+                    label=label, check_class=check_class,
+                ),
+                None,
+            ),
+            engine=engine, optimize=optimize,
+        )
+        return
     plan = plan_mld_pass(
         system.geometry,
         perm,
@@ -105,4 +131,4 @@ def perform_mld_pass(
         label=label,
         check_class=check_class,
     )
-    execute_plan(system, plan, engine=engine)
+    execute_plan(system, plan, engine=engine, optimize=optimize)

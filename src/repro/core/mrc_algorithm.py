@@ -15,6 +15,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import NotInClassError
+from repro.pdm.cache import PlanCache, cached_execute, plan_key
 from repro.pdm.engine import execute_plan
 from repro.pdm.geometry import DiskGeometry
 from repro.pdm.schedule import IOPlan, PlanBuilder
@@ -65,9 +66,32 @@ def perform_mrc_pass(
     target_portion: int = 1,
     label: str = "mrc",
     engine: str = "strict",
+    optimize: bool = False,
+    cache: PlanCache | None = None,
 ) -> None:
-    """Perform an MRC permutation in one pass (striped reads and writes)."""
+    """Perform an MRC permutation in one pass (striped reads and writes).
+
+    ``cache`` reuses a compiled plan for repeated (geometry, matrix)
+    workloads; ``optimize`` enables the plan-level rewrites.
+    """
+    if cache is not None:
+        key = plan_key(
+            "mrc", system.geometry, perm.matrix, perm.complement,
+            source_portion, target_portion, label,
+            system.num_portions, system.simple_io,
+        )
+        cached_execute(
+            system, cache, key,
+            lambda: (
+                plan_mrc_pass(
+                    system.geometry, perm, source_portion, target_portion, label=label
+                ),
+                None,
+            ),
+            engine=engine, optimize=optimize,
+        )
+        return
     plan = plan_mrc_pass(
         system.geometry, perm, source_portion, target_portion, label=label
     )
-    execute_plan(system, plan, engine=engine)
+    execute_plan(system, plan, engine=engine, optimize=optimize)

@@ -18,6 +18,7 @@ from repro.core.general import perform_general_sort
 from repro.core.mld_algorithm import perform_mld_pass
 from repro.core.mrc_algorithm import perform_mrc_pass
 from repro.errors import ValidationError
+from repro.pdm.cache import PlanCache
 from repro.pdm.stats import StatsSnapshot
 from repro.pdm.system import ParallelDiskSystem
 from repro.perms.base import Permutation
@@ -59,6 +60,8 @@ def perform_permutation(
     target_portion: int = 1,
     verify: bool = True,
     engine: str = "strict",
+    optimize: bool = False,
+    cache: PlanCache | None = None,
 ) -> RunReport:
     """Run ``perm`` on ``system`` and report.
 
@@ -73,6 +76,16 @@ def perform_permutation(
     plan as fused numpy batches (identical portions and stats).  The
     distribution sort is adaptive (its I/Os depend on sampled state) and
     always executes strictly.
+
+    ``optimize`` compiles the plan through :mod:`repro.pdm.optimize`
+    (cross-pass fusion, dead-write elimination; fast engine only) and
+    ``cache`` -- a :class:`~repro.pdm.cache.PlanCache` -- serves
+    repeated (geometry, matrix, method) workloads from compiled plans,
+    skipping classification, planning, fusing, and validation.  Both
+    leave portions and :class:`~repro.pdm.stats.IOStats` identical to
+    an unoptimized strict run.  The general sort's schedule is
+    data-dependent and is never cached; the distribution sort supports
+    neither knob.
 
     The source portion must already hold the canonical payloads
     (``fill_identity``); verification checks
@@ -101,13 +114,13 @@ def perform_permutation(
     if chosen == "mrc":
         perform_mrc_pass(
             system, _require_bmmc(bperm, chosen), source_portion, target_portion,
-            engine=engine,
+            engine=engine, optimize=optimize, cache=cache,
         )
         final = target_portion
     elif chosen == "mld":
         perform_mld_pass(
             system, _require_bmmc(bperm, chosen), source_portion, target_portion,
-            engine=engine,
+            engine=engine, optimize=optimize, cache=cache,
         )
         final = target_portion
     elif chosen == "inv-mld":
@@ -115,7 +128,7 @@ def perform_permutation(
 
         perform_inverse_mld_pass(
             system, _require_bmmc(bperm, chosen), source_portion, target_portion,
-            engine=engine,
+            engine=engine, optimize=optimize, cache=cache,
         )
         final = target_portion
     elif chosen in ("bmmc", "bmmc-unmerged"):
@@ -126,11 +139,14 @@ def perform_permutation(
             target_portion,
             merge_factors=(chosen == "bmmc"),
             engine=engine,
+            optimize=optimize,
+            cache=cache,
         )
         final = result.final_portion
     elif chosen == "general":
         result = perform_general_sort(
-            system, perm, source_portion, target_portion, engine=engine
+            system, perm, source_portion, target_portion, engine=engine,
+            optimize=optimize,
         )
         final = result.final_portion
     elif chosen == "distribution":
@@ -166,6 +182,8 @@ def perform_pipeline(
     target_portion: int = 1,
     verify: bool = True,
     engine: str = "strict",
+    optimize: bool = False,
+    cache: PlanCache | None = None,
 ) -> RunReport:
     """Perform a sequence of permutations as *one* composed run.
 
@@ -196,6 +214,8 @@ def perform_pipeline(
         target_portion=target_portion,
         verify=verify,
         engine=engine,
+        optimize=optimize,
+        cache=cache,
     )
 
 

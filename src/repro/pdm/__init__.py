@@ -18,8 +18,25 @@ from repro.pdm.memory import Memory
 from repro.pdm.stats import IOStats, PassStats
 from repro.pdm.system import ParallelDiskSystem
 from repro.pdm.layout import render_figure1, render_figure2, render_portion
-from repro.pdm.schedule import IOPlan, IOStep, PlanBuilder, PlanPass
-from repro.pdm.engine import ENGINES, PlanCheck, execute_plan, validate_plan
+from repro.pdm.schedule import IOPlan, IOStep, PassColumns, PlanBuilder, PlanPass
+from repro.pdm.engine import (
+    ENGINES,
+    STREAM_AUTO_RECORDS,
+    ExecReport,
+    PlanCheck,
+    audit_plan,
+    execute_plan,
+    validate_plan,
+)
+from repro.pdm.optimize import OptimizedPlan, OptimizeReport, optimize_plan
+from repro.pdm.cache import (
+    CacheInfo,
+    CompiledPlan,
+    PlanCache,
+    cached_execute,
+    compile_plan,
+    plan_key,
+)
 
 __all__ = [
     "DiskGeometry",
@@ -32,10 +49,23 @@ __all__ = [
     "render_portion",
     "IOPlan",
     "IOStep",
+    "PassColumns",
     "PlanBuilder",
     "PlanPass",
     "ENGINES",
+    "STREAM_AUTO_RECORDS",
+    "ExecReport",
     "PlanCheck",
+    "audit_plan",
     "execute_plan",
     "validate_plan",
+    "OptimizedPlan",
+    "OptimizeReport",
+    "optimize_plan",
+    "CacheInfo",
+    "CompiledPlan",
+    "PlanCache",
+    "cached_execute",
+    "compile_plan",
+    "plan_key",
 ]

@@ -1,0 +1,257 @@
+"""Compiled-plan cache: skip planning, fusing, and validation on repeats.
+
+Planning a BMMC permutation is pure -- the emitted
+:class:`~repro.pdm.schedule.IOPlan` depends only on the geometry, the
+characteristic matrix (plus complement), the algorithm, and the portion
+wiring.  Serving the same relayout to many requests (the "millions of
+users" traffic shape: every FFT performs the same bit-reversal, every
+matrix pipeline the same transpose) therefore re-derives byte-identical
+plans over and over, and the planners -- per-memoryload argsorts and
+class-property proofs -- dominate the cost of a fast execution.
+
+:class:`PlanCache` is an LRU map from a :func:`plan_key` to a
+:class:`CompiledPlan`: the plan with its fused per-pass arrays already
+built, the model-rule audit already passed, and (optionally) the
+cross-pass :class:`~repro.pdm.optimize.OptimizedPlan` rewrite already
+compiled.  A cache hit goes straight to gather/scatter -- no planning,
+no fusing, no structural validation; only the data-dependent simple-I/O
+checks and the memory simulation (both O(plan) numpy work) remain.
+
+Keys must capture *everything* the plan depends on; :func:`plan_key`
+prefixes the algorithm name and geometry, and callers append the
+characteristic matrix (hashable :class:`~repro.bits.matrix.BitMatrix`),
+complement, portions, and any algorithm knobs.  Two systems with the
+same geometry share compiled plans safely because plans are immutable
+and executions never write to them (fused metadata is cached on the
+plan, keyed by step count).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.pdm.engine import ExecReport, audit_plan, execute_plan, PlanCheck
+from repro.pdm.geometry import DiskGeometry
+from repro.pdm.schedule import IOPlan
+from repro.pdm.system import ParallelDiskSystem
+
+__all__ = [
+    "CacheInfo",
+    "CompiledPlan",
+    "PlanCache",
+    "plan_key",
+    "compile_plan",
+    "cached_execute",
+]
+
+
+@dataclass(frozen=True)
+class CacheInfo:
+    """Counters snapshot for one :class:`PlanCache`."""
+
+    hits: int
+    misses: int
+    evictions: int
+    size: int
+    maxsize: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+def plan_key(algorithm: str, geometry: DiskGeometry, *components) -> tuple:
+    """A hashable cache key: algorithm + geometry + caller components.
+
+    Callers append whatever else the plan depends on -- characteristic
+    matrices hash by content, so ``plan_key("mld", g, perm.matrix,
+    perm.complement, src, dst)`` distinguishes exactly the workloads
+    that need distinct plans.
+    """
+    return (algorithm, (geometry.N, geometry.B, geometry.D, geometry.M), *components)
+
+
+class CompiledPlan:
+    """A pre-fused, pre-validated plan, optionally pre-optimized.
+
+    ``meta`` carries algorithm-level results that are pure functions of
+    the key (e.g. the BMMC factor schedule and final portion) so cache
+    hits can reconstruct their run reports without re-planning.
+    """
+
+    __slots__ = ("plan", "optimized", "check", "num_portions", "simple_io", "meta")
+
+    def __init__(
+        self,
+        plan: IOPlan,
+        optimized,
+        check: PlanCheck,
+        num_portions: int,
+        simple_io: bool,
+        meta=None,
+    ) -> None:
+        self.plan = plan
+        self.optimized = optimized
+        self.check = check
+        self.num_portions = num_portions
+        self.simple_io = simple_io
+        self.meta = meta
+
+    def ensure_optimized(self):
+        """Compile (and memoize) the optimized form on first demand.
+
+        Laziness keeps strict-only workloads from paying the optimizer's
+        slot-map argsorts for an artifact the strict path never runs.
+        """
+        if self.optimized is None:
+            from repro.pdm.optimize import optimize_plan
+
+            self.optimized = optimize_plan(
+                self.plan, num_portions=self.num_portions, simple_io=self.simple_io
+            )
+        return self.optimized
+
+    def execute(
+        self,
+        system: ParallelDiskSystem,
+        engine: str = "fast",
+        stream_records=None,
+        optimize: bool = True,
+    ) -> ExecReport:
+        """Run the compiled plan.
+
+        ``optimize`` selects the optimized form (compiled lazily on
+        first fast-engine use); a compiled plan is shareable between
+        callers that do and do not want the rewrites, so the choice is
+        made here, per execution, not baked into the cache entry.
+        """
+        target = (
+            self.ensure_optimized() if (optimize and engine == "fast") else self.plan
+        )
+        return execute_plan(
+            system, target, engine=engine, stream_records=stream_records
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        shape = "optimized" if self.optimized is not None else "plain"
+        return f"CompiledPlan({shape}, passes={self.plan.num_passes})"
+
+
+def compile_plan(
+    geometry: DiskGeometry,
+    plan: IOPlan,
+    num_portions: int = 2,
+    simple_io: bool = True,
+    optimize: bool = True,
+    meta=None,
+) -> CompiledPlan:
+    """Fuse, audit, and (optionally) optimize a plan for reuse.
+
+    This front-loads every input-independent cost: after compiling,
+    executions skip straight to data movement.  No
+    :class:`~repro.pdm.system.ParallelDiskSystem` is required -- the
+    audit simulates the M-record memory from empty.
+    """
+    check = audit_plan(geometry, plan, num_portions=num_portions, simple_io=simple_io)
+    optimized = None
+    if optimize:
+        from repro.pdm.optimize import optimize_plan
+
+        optimized = optimize_plan(
+            plan, num_portions=num_portions, simple_io=simple_io
+        )
+    return CompiledPlan(plan, optimized, check, num_portions, simple_io, meta=meta)
+
+
+class PlanCache:
+    """LRU cache of :class:`CompiledPlan` objects keyed by :func:`plan_key`."""
+
+    def __init__(self, maxsize: int = 64) -> None:
+        self.maxsize = int(maxsize)
+        self._entries: OrderedDict[tuple, CompiledPlan] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def lookup(self, key: tuple) -> CompiledPlan | None:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def store(self, key: tuple, compiled: CompiledPlan) -> None:
+        self._entries[key] = compiled
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: tuple) -> bool:
+        return key in self._entries
+
+    def info(self) -> CacheInfo:
+        return CacheInfo(
+            hits=self.hits,
+            misses=self.misses,
+            evictions=self.evictions,
+            size=len(self._entries),
+            maxsize=self.maxsize,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        i = self.info()
+        return (
+            f"PlanCache(size={i.size}/{i.maxsize}, hits={i.hits}, "
+            f"misses={i.misses}, evictions={i.evictions})"
+        )
+
+
+def cached_execute(
+    system: ParallelDiskSystem,
+    cache: PlanCache | None,
+    key: tuple,
+    build: Callable[[], tuple[IOPlan, object]],
+    engine: str = "fast",
+    optimize: bool = True,
+    stream_records=None,
+) -> tuple[CompiledPlan, ExecReport, bool]:
+    """Execute through the cache; compile-and-store on a miss.
+
+    ``build`` is the pure planner thunk, returning ``(plan, meta)``.
+    Returns ``(compiled, exec_report, hit)``.
+
+    The optimized form is compiled lazily, on the entry's first
+    fast-engine execution with ``optimize=True``, then memoized; the
+    caller's flag selects which form executes, so one entry serves
+    callers on either setting without re-compilation or a key split.
+    """
+    compiled = cache.lookup(key) if cache is not None else None
+    hit = compiled is not None
+    if compiled is None:
+        plan, meta = build()
+        compiled = compile_plan(
+            system.geometry,
+            plan,
+            num_portions=system.num_portions,
+            simple_io=system.simple_io,
+            optimize=False,  # lazy: see CompiledPlan.ensure_optimized
+            meta=meta,
+        )
+        if cache is not None:
+            cache.store(key, compiled)
+    report = compiled.execute(
+        system, engine=engine, stream_records=stream_records, optimize=optimize
+    )
+    return compiled, report, hit

@@ -28,17 +28,23 @@ When observers are attached (e.g. :class:`~repro.pdm.trace.IOTrace`),
 ``execute_plan`` silently falls back to strict so per-operation events
 keep flowing.
 
-Host-memory note: both executors materialize a pass's whole read
-stream (one record per record read, i.e. O(N) for a full pass) --
-that buffer is what makes writes pure slot lookups.  The *simulated*
-machine still respects its M-record memory rule; the host footprint is
-the price of batching and is fine up to N ~ 2^24 (128 MB int64).
-Beyond that, see ROADMAP ("memory-footprint guard").
+Host-memory note: the strict executor materializes a pass's whole read
+stream on the host (one record per record read, i.e. O(N) for a full
+pass).  The fast executor *streams*: when a pass's read stream exceeds
+the chunk budget (``stream_records``, default auto at
+:data:`STREAM_AUTO_RECORDS`), it is cut at liveness boundaries -- step
+positions after which every already-read stream slot has retired, i.e.
+no later write sources it -- and executed chunk by chunk, so the host
+working set is O(live slots) instead of O(N).  Planner-emitted passes
+retire a memoryload's slots as soon as its writes are planned, so their
+live set is ~M and arbitrarily large N executes in bounded host memory.
+Every ``execute_plan`` call returns an :class:`ExecReport` recording
+the observed host peak.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -49,13 +55,28 @@ from repro.errors import (
     PlanError,
     ValidationError,
 )
+from repro.pdm.geometry import DiskGeometry
 from repro.pdm.schedule import IOPlan, PlanPass
 from repro.pdm.system import ParallelDiskSystem
 
-__all__ = ["ENGINES", "execute_plan", "validate_plan", "PlanCheck"]
+__all__ = [
+    "ENGINES",
+    "STREAM_AUTO_RECORDS",
+    "ExecReport",
+    "execute_plan",
+    "validate_plan",
+    "audit_plan",
+    "PlanCheck",
+]
 
 #: The two execution modes.
 ENGINES = ("strict", "fast")
+
+#: Auto-streaming threshold: a pass whose read stream exceeds this many
+#: records is executed in liveness-bounded chunks by the fast engine.
+STREAM_AUTO_RECORDS = 1 << 22
+
+_I64_MAX = np.iinfo(np.int64).max
 
 
 @dataclass(frozen=True)
@@ -77,24 +98,51 @@ class PlanCheck:
         return self.parallel_reads + self.parallel_writes
 
 
+@dataclass
+class ExecReport:
+    """What one ``execute_plan`` call actually did.
+
+    ``host_peak_records`` is the largest host-side read-stream buffer
+    the executor materialized (the simulated machine's M-record rule is
+    accounted separately, by :class:`~repro.pdm.memory.Memory`);
+    ``streamed_passes`` counts passes executed in more than one chunk.
+    ``streams`` holds each pass's captured read stream when the call
+    asked for ``capture=True`` (the run-time detector's path).
+    """
+
+    engine: str
+    host_peak_records: int = 0
+    streamed_passes: int = 0
+    optimized: bool = False
+    fell_back: str | None = None
+    streams: list[np.ndarray] | None = field(default=None, repr=False)
+
+
 class _FusedPass:
     """Concatenated per-pass step metadata for vectorized checks/execution."""
 
     __slots__ = (
         "label", "num_steps",
         "read_ids", "read_sizes", "read_portions", "read_striped",
-        "read_consume_default", "read_consume_value",
+        "read_consume_default", "read_consume_value", "read_discard",
         "read_addr", "rec_read_portion",
         "write_ids", "write_sizes", "write_portions", "write_striped",
-        "write_addr", "write_source", "rec_write_portion", "write_source_max",
+        "write_addr", "write_source", "rec_write_portion",
+        "write_source_max", "write_source_min",
         "is_read", "step_sizes", "reads_before",
+        "read_before", "write_before", "read_rec_cum", "write_rec_cum",
         "mem_net", "mem_peak",  # filled by validation (records, absolute)
-        "checked_for",  # num_portions the structural checks last ran against
+        "checked_for",  # (num_portions, simple_io) the checks last ran against
     )
 
     def resolved_consume(self, simple_io: bool) -> np.ndarray:
         """Per-read-step consume flags with ``None`` resolved to the default."""
         return np.where(self.read_consume_default, simple_io, self.read_consume_value)
+
+    @property
+    def stream_records(self) -> int:
+        """Total records the pass reads (its read-stream length)."""
+        return int(self.read_rec_cum[-1])
 
 
 def _segment_striped(g, ids: np.ndarray, sizes: np.ndarray) -> np.ndarray:
@@ -110,65 +158,61 @@ def _segment_striped(g, ids: np.ndarray, sizes: np.ndarray) -> np.ndarray:
     return (sizes == g.D) & (lo == hi)
 
 
-def _fuse_pass(system: ParallelDiskSystem, pas: PlanPass) -> _FusedPass:
-    g = system.geometry
-    # Cache on the pass, invalidated if steps were added since fusing.
+def _fuse_pass(g: DiskGeometry, pas: PlanPass) -> _FusedPass:
+    """Fused metadata for one pass, cached on the pass object.
+
+    Builder-produced passes carry a columnar twin of their step list,
+    so fusing is pure array bookkeeping -- no per-step Python loop.
+    Hand-built passes take the slow path once (``_ensure_columns``).
+    """
+    cols = pas.columns_if_fresh()
+    num_steps = cols.num_steps if cols is not None else len(pas.steps)
     cached = pas._fused.get("fused")
-    if cached is not None and cached.num_steps == len(pas.steps):
+    if cached is not None and cached.num_steps == num_steps:
         return cached
+    if cols is None or cols.num_steps != num_steps:
+        cols = pas._ensure_columns()
 
     B = g.B
-    read_ids, read_sizes, read_portions = [], [], []
-    consume_default, consume_value = [], []
-    write_ids, write_sizes, write_portions, write_sources = [], [], [], []
-    is_read = np.empty(len(pas.steps), dtype=bool)
-    step_sizes = np.empty(len(pas.steps), dtype=np.int64)
-    reads_before = []
-    records_read = 0
-    for i, step in enumerate(pas.steps):
-        ids = step.block_ids
-        if step.kind == "read":
-            is_read[i] = True
-            step_sizes[i] = ids.size
-            read_ids.append(ids)
-            read_sizes.append(ids.size)
-            read_portions.append(step.portion)
-            consume_default.append(step.consume is None)
-            consume_value.append(bool(step.consume))
-            records_read += ids.size * B
-        else:
-            is_read[i] = False
-            step_sizes[i] = ids.size
-            write_ids.append(ids)
-            write_sizes.append(ids.size)
-            write_portions.append(step.portion)
-            write_sources.append(step.source)
-            reads_before.append(records_read)
-
     f = _FusedPass()
     f.label = pas.label
-    f.num_steps = len(pas.steps)
+    f.num_steps = cols.num_steps
     f.checked_for = None
-    empty_i64 = np.zeros(0, dtype=np.int64)
-    f.read_ids = np.concatenate(read_ids) if read_ids else empty_i64
-    f.read_sizes = np.asarray(read_sizes, dtype=np.int64)
-    f.read_portions = np.asarray(read_portions, dtype=np.int64)
-    f.read_consume_default = np.asarray(consume_default, dtype=bool)
-    f.read_consume_value = np.asarray(consume_value, dtype=bool)
+    f.is_read = cols.is_read
+    f.step_sizes = cols.step_sizes
+    f.read_ids = cols.read_ids
+    f.read_sizes = cols.read_sizes
+    f.read_portions = cols.read_portions
+    f.read_consume_default = cols.read_consume_default
+    f.read_consume_value = cols.read_consume_value
+    f.read_discard = cols.read_discard
     f.read_striped = _segment_striped(g, f.read_ids, f.read_sizes)
-    f.write_ids = np.concatenate(write_ids) if write_ids else empty_i64
-    f.write_sizes = np.asarray(write_sizes, dtype=np.int64)
-    f.write_portions = np.asarray(write_portions, dtype=np.int64)
+    f.write_ids = cols.write_ids
+    f.write_sizes = cols.write_sizes
+    f.write_portions = cols.write_portions
     f.write_striped = _segment_striped(g, f.write_ids, f.write_sizes)
-    f.write_source = np.concatenate(write_sources) if write_sources else empty_i64
+    f.write_source = cols.write_source
+
     if f.write_sizes.size and (f.write_sizes > 0).all():
         offsets = np.concatenate(([0], np.cumsum(f.write_sizes * B)[:-1]))
         f.write_source_max = np.maximum.reduceat(f.write_source, offsets)
+        f.write_source_min = np.minimum.reduceat(f.write_source, offsets)
     else:
         f.write_source_max = np.full(f.write_sizes.size, -1, dtype=np.int64)
-    f.is_read = is_read
-    f.step_sizes = step_sizes
-    f.reads_before = np.asarray(reads_before, dtype=np.int64)
+        f.write_source_min = np.full(f.write_sizes.size, _I64_MAX, dtype=np.int64)
+
+    # Step-position cumulatives: how many read/write steps (and records)
+    # precede each step position.  These drive strict replay parity,
+    # the ordering audit, and streaming segmentation.
+    f.read_before = np.concatenate(([0], np.cumsum(f.is_read, dtype=np.int64)))
+    f.write_before = np.concatenate(([0], np.cumsum(~f.is_read, dtype=np.int64)))
+    f.read_rec_cum = np.concatenate(
+        ([0], np.cumsum(f.read_sizes * B, dtype=np.int64))
+    )
+    f.write_rec_cum = np.concatenate(
+        ([0], np.cumsum(f.write_sizes * B, dtype=np.int64))
+    )
+    f.reads_before = f.read_rec_cum[f.read_before[:-1][~f.is_read]]
 
     offsets = np.arange(B, dtype=np.int64)[None, :]
     f.read_addr = ((f.read_ids[:, None] << g.b) + offsets).reshape(-1)
@@ -180,9 +224,8 @@ def _fuse_pass(system: ParallelDiskSystem, pas: PlanPass) -> _FusedPass:
     return f
 
 
-def _check_structure(system: ParallelDiskSystem, f: _FusedPass) -> None:
+def _check_structure(g: DiskGeometry, num_portions: int, f: _FusedPass) -> None:
     """Per-step model rules, vectorized over one pass."""
-    g = system.geometry
     sizes = f.step_sizes
     if (sizes == 0).any():
         raise ValidationError(
@@ -202,7 +245,7 @@ def _check_structure(system: ParallelDiskSystem, f: _FusedPass) -> None:
         if ids.min() < 0 or ids.max() >= g.num_blocks:
             raise ValidationError(f"pass {f.label!r}: block id out of range")
         if portions.size and (
-            portions.min() < 0 or portions.max() >= system.num_portions
+            portions.min() < 0 or portions.max() >= num_portions
         ):
             raise ValidationError(f"pass {f.label!r}: portion out of range")
         step_of = np.repeat(np.arange(step_sizes.size, dtype=np.int64), step_sizes)
@@ -218,11 +261,17 @@ def _check_structure(system: ParallelDiskSystem, f: _FusedPass) -> None:
         )
     if f.write_source.size and f.write_source.min() < 0:
         raise PlanError(f"pass {f.label!r}: negative stream slot")
+    if f.write_source.size and f.read_discard.any():
+        rec_discard = np.repeat(f.read_discard, f.read_sizes * g.B)
+        if rec_discard[f.write_source].any():
+            raise PlanError(
+                f"pass {f.label!r}: a write sources records a discarding "
+                "read already released from memory"
+            )
 
 
-def _check_fusable(system: ParallelDiskSystem, f: _FusedPass) -> None:
+def _check_fusable(g: DiskGeometry, simple_io: bool, f: _FusedPass) -> None:
     """Reject order-dependent block touches that fusion would reorder."""
-    g = system.geometry
     wkeys = f.rec_write_portion[:: g.B] * g.num_blocks + f.write_ids if f.write_ids.size else f.write_ids
     rkeys = f.rec_read_portion[:: g.B] * g.num_blocks + f.read_ids if f.read_ids.size else f.read_ids
     if wkeys.size and np.unique(wkeys).size != wkeys.size:
@@ -235,7 +284,7 @@ def _check_fusable(system: ParallelDiskSystem, f: _FusedPass) -> None:
         dup = uniq[counts > 1]
         if dup.size:
             block_consume = np.repeat(
-                f.resolved_consume(system.simple_io), f.read_sizes
+                f.resolved_consume(simple_io), f.read_sizes
             )
             if np.isin(rkeys[block_consume], dup).any():
                 raise PlanError(
@@ -249,44 +298,56 @@ def _check_fusable(system: ParallelDiskSystem, f: _FusedPass) -> None:
         )
 
 
-def _check_pass(system: ParallelDiskSystem, f: _FusedPass) -> None:
+def _check_pass(
+    g: DiskGeometry, num_portions: int, simple_io: bool, f: _FusedPass
+) -> None:
     """Structural + fusability audit, cached per (portions, simple_io).
 
     Both checks are pure functions of the fused metadata and these two
     system attributes, so re-executing an already-audited plan skips
     straight to the data-dependent work.
     """
-    key = (system.num_portions, system.simple_io)
+    key = (num_portions, simple_io)
     if f.checked_for == key:
         return
-    _check_structure(system, f)
-    _check_fusable(system, f)
+    _check_structure(g, num_portions, f)
+    _check_fusable(g, simple_io, f)
     f.checked_for = key
 
 
-def _check_memory(system: ParallelDiskSystem, fused: list[_FusedPass]) -> tuple[int, int]:
+def _check_memory(
+    g: DiskGeometry, capacity: int, in_use_start: int, fused: list[_FusedPass]
+) -> tuple[int, int]:
     """Simulate the record-count memory across all passes; fill per-pass
-    ``mem_net``/``mem_peak`` and return (overall peak, net delta)."""
-    g = system.geometry
-    mem = system.memory
-    in_use = mem.in_use
-    overall_peak = mem.peak
+    ``mem_net``/``mem_peak`` and return (overall peak, net delta).
+
+    Discarding reads allocate-and-release within their own step, so they
+    contribute a transient spike to the peak but nothing to the net.
+    """
+    in_use = in_use_start
+    overall_peak = 0
     for f in fused:
-        deltas = np.where(f.is_read, f.step_sizes, -f.step_sizes) * g.B
+        sizes = f.step_sizes * g.B
+        step_discard = np.zeros(f.num_steps, dtype=bool)
+        if f.read_discard.size and f.read_discard.any():
+            step_discard[f.is_read] = f.read_discard
+        deltas = np.where(f.is_read, np.where(step_discard, 0, sizes), -sizes)
+        transient = np.where(step_discard, sizes, 0)
         prefix = np.cumsum(deltas)
+        occupancy = prefix + transient
         if prefix.size:
-            hi = int(prefix.max())
-            if in_use + hi > mem.capacity:
+            hi = int(occupancy.max())
+            if in_use + hi > capacity:
                 raise MemoryCapacityError(
                     f"pass {f.label!r} would hold {in_use + hi} > "
-                    f"M={mem.capacity} records in memory"
+                    f"M={capacity} records in memory"
                 )
             if in_use + int(prefix.min()) < 0:
                 raise MemoryCapacityError(
                     f"pass {f.label!r} releases more records than are resident"
                 )
-            read_prefix = prefix[f.is_read]
-            pass_peak = in_use + int(read_prefix.max()) if read_prefix.size else in_use
+            read_occ = occupancy[f.is_read]
+            pass_peak = in_use + int(read_occ.max()) if read_occ.size else in_use
             net = int(prefix[-1])
         else:
             pass_peak, net = in_use, 0
@@ -294,24 +355,10 @@ def _check_memory(system: ParallelDiskSystem, fused: list[_FusedPass]) -> tuple[
         f.mem_net = net
         in_use += net
         overall_peak = max(overall_peak, f.mem_peak)
-    return overall_peak, in_use - mem.in_use
+    return overall_peak, in_use - in_use_start
 
 
-def validate_plan(system: ParallelDiskSystem, plan: IOPlan) -> PlanCheck:
-    """Audit a whole plan against the model rules without executing it.
-
-    Raises the same error classes the strict engine would (disk
-    conflicts, capacity, malformed steps) plus :class:`PlanError` for
-    plans whose within-pass ordering fused execution cannot preserve.
-    Data-state (simple I/O emptiness) is inherently a run-time property
-    and is checked during execution instead.
-    """
-    if plan.geometry != system.geometry:
-        raise ValidationError("plan and system geometries differ")
-    fused = [_fuse_pass(system, p) for p in plan.passes]
-    for f in fused:
-        _check_pass(system, f)
-    peak, net = _check_memory(system, fused)
+def _plan_check(fused: list[_FusedPass], peak: int, net: int) -> PlanCheck:
     return PlanCheck(
         passes=len(fused),
         parallel_reads=int(sum(f.read_sizes.size for f in fused)),
@@ -325,11 +372,56 @@ def validate_plan(system: ParallelDiskSystem, plan: IOPlan) -> PlanCheck:
     )
 
 
-# --------------------------------------------------------------- strict mode
-def _execute_strict(system: ParallelDiskSystem, plan: IOPlan) -> None:
+def audit_plan(
+    geometry: DiskGeometry,
+    plan: IOPlan,
+    num_portions: int = 2,
+    simple_io: bool = True,
+) -> PlanCheck:
+    """Audit a plan without a system: fuse, rule-check, simulate memory.
+
+    This is the compile-time half of :func:`validate_plan` -- the plan
+    cache uses it to pre-validate compiled plans without allocating a
+    throwaway ``ParallelDiskSystem`` (whose portions cost O(N) host
+    memory at huge N).  Memory is simulated from an empty RAM.
+    """
+    if plan.geometry != geometry:
+        raise ValidationError("plan and audit geometries differ")
+    fused = [_fuse_pass(geometry, p) for p in plan.passes]
+    for f in fused:
+        _check_pass(geometry, num_portions, simple_io, f)
+    peak, net = _check_memory(geometry, geometry.M, 0, fused)
+    return _plan_check(fused, peak, net)
+
+
+def validate_plan(system: ParallelDiskSystem, plan: IOPlan) -> PlanCheck:
+    """Audit a whole plan against the model rules without executing it.
+
+    Raises the same error classes the strict engine would (disk
+    conflicts, capacity, malformed steps) plus :class:`PlanError` for
+    plans whose within-pass ordering fused execution cannot preserve.
+    Data-state (simple I/O emptiness) is inherently a run-time property
+    and is checked during execution instead.
+    """
+    if plan.geometry != system.geometry:
+        raise ValidationError("plan and system geometries differ")
     g = system.geometry
+    fused = [_fuse_pass(g, p) for p in plan.passes]
+    for f in fused:
+        _check_pass(g, system.num_portions, system.simple_io, f)
+    peak, net = _check_memory(g, system.memory.capacity, system.memory.in_use, fused)
+    return _plan_check(fused, max(peak, system.memory.peak), net)
+
+
+# --------------------------------------------------------------- strict mode
+def _execute_strict(
+    system: ParallelDiskSystem, plan: IOPlan, capture: bool = False
+) -> ExecReport:
+    g = system.geometry
+    report = ExecReport(engine="strict", streams=[] if capture else None)
     for pas in plan.passes:
         stream = np.empty(pas.num_read_blocks * g.B, dtype=system.dtype)
+        report.host_peak_records = max(report.host_peak_records, stream.size)
         cursor = 0
         system.stats.begin_pass(pas.label)
         try:
@@ -340,6 +432,8 @@ def _execute_strict(system: ParallelDiskSystem, plan: IOPlan) -> None:
                     )
                     stream[cursor : cursor + values.size] = values.reshape(-1)
                     cursor += values.size
+                    if step.discard:
+                        system.memory.release(values.size)
                 else:
                     if step.source.size and (
                         int(step.source.min()) < 0 or int(step.source.max()) >= cursor
@@ -355,6 +449,9 @@ def _execute_strict(system: ParallelDiskSystem, plan: IOPlan) -> None:
                     )
         finally:
             system.stats.end_pass()
+        if capture:
+            report.streams.append(stream)
+    return report
 
 
 # ----------------------------------------------------------------- fast mode
@@ -369,73 +466,217 @@ def _portion_groups(portions: np.ndarray, rec_portions: np.ndarray):
         yield int(p), rec_portions == p
 
 
-def _execute_fast(system: ParallelDiskSystem, plan: IOPlan) -> None:
+def _require_write_targets_empty(
+    system: ParallelDiskSystem,
+    write_portions: np.ndarray,
+    rec_wport: np.ndarray,
+    write_addr: np.ndarray,
+) -> None:
+    """The simple-I/O write-to-empty rule, vectorized over record addrs.
+
+    Canonical check shared by the fast executor and the optimizer's
+    skipped-link audit; keep error text in sync with
+    :meth:`ParallelDiskSystem.write_blocks`.
+    """
     g = system.geometry
-    fused = [_fuse_pass(system, p) for p in plan.passes]
-    for f in fused:
-        _check_pass(system, f)
-    _check_memory(system, fused)
-
     data = system._data
+    for portion, idx in _portion_groups(write_portions, rec_wport):
+        occupied = ~system._is_empty(data[portion, write_addr[idx]])
+        if occupied.any():
+            bad = np.unique((write_addr[idx])[occupied] >> g.b)
+            raise BlockStateError(
+                f"writing to non-empty blocks under simple I/O: {list(bad)}"
+            )
+
+
+def _stream_budget(stream_records) -> int | None:
+    """Resolve the streaming knob: None = never stream."""
+    if stream_records is None:
+        return STREAM_AUTO_RECORDS
+    if not stream_records:
+        return None
+    return int(stream_records)
+
+
+def _liveness_segments(f: _FusedPass, budget: int) -> list[tuple[int, int]]:
+    """Cut a pass into step ranges whose read-stream chunks fit ``budget``.
+
+    A cut after step ``i`` is *valid* when every write at a later step
+    sources only slots read after ``i`` -- i.e. every slot read so far
+    has retired.  Planner-emitted passes retire a memoryload's slots as
+    soon as its writes are planned, so valid cuts occur every ~M
+    records.  Chunks then greedily pack as many cuts as fit the budget;
+    if the tightest liveness window already exceeds the budget, the
+    window is taken whole (liveness, not the budget, is the hard floor).
+    """
+    num_steps = f.num_steps
+    rr = f.read_rec_cum[f.read_before[1:]]  # records read after each step
+    src_min = np.full(num_steps, _I64_MAX, dtype=np.int64)
+    src_min[~f.is_read] = f.write_source_min
+    suffix = np.minimum.accumulate(src_min[::-1])[::-1]
+    later = np.empty(num_steps, dtype=np.int64)
+    later[:-1] = suffix[1:]
+    later[-1] = _I64_MAX
+    valid = later >= rr
+    valid[-1] = True
+    cuts = np.flatnonzero(valid)
+    cut_rr = rr[cuts]
+
+    segments: list[tuple[int, int]] = []
+    s0 = 0
+    base = 0
+    lo = 0
+    while s0 < num_steps:
+        j = int(np.searchsorted(cut_rr, base + budget, side="right")) - 1
+        j = max(j, lo)  # liveness floor: take at least the next valid cut
+        c = int(cuts[j])
+        segments.append((s0, c + 1))
+        base = int(rr[c])
+        s0 = c + 1
+        lo = j + 1
+    return segments
+
+
+def _apply_segment(
+    system: ParallelDiskSystem,
+    f: _FusedPass,
+    s0: int,
+    s1: int,
+    write_keep: np.ndarray | None = None,
+) -> np.ndarray:
+    """Gather/check/scatter one step range of a fused pass; returns its
+    read-stream chunk (the caller reports/captures it).
+
+    ``write_keep`` is a record-level mask over the pass's write stream
+    (the optimizer's dead-write elimination); masked records skip the
+    physical scatter while everything else -- checks, consumes, stats
+    -- proceeds as usual.
+    """
+    g = system.geometry
+    B = g.B
+    data = system._data
+    r0, r1 = int(f.read_before[s0]), int(f.read_before[s1])
+    w0, w1 = int(f.write_before[s0]), int(f.write_before[s1])
+    rec0, rec1 = int(f.read_rec_cum[r0]), int(f.read_rec_cum[r1])
+    wrec0, wrec1 = int(f.write_rec_cum[w0]), int(f.write_rec_cum[w1])
+
+    read_addr = f.read_addr[rec0:rec1]
+    rec_rport = f.rec_read_portion[rec0:rec1]
+    read_portions = f.read_portions[r0:r1]
+    stream = np.empty(rec1 - rec0, dtype=system.dtype)
+    for portion, idx in _portion_groups(read_portions, rec_rport):
+        stream[idx] = data[portion, read_addr[idx]]
+
+    consume = f.resolved_consume(system.simple_io)[r0:r1]
+    rec_consume = np.repeat(consume, f.read_sizes[r0:r1] * B)
+    any_consume = bool(rec_consume.any())
+    if any_consume:
+        consumed = stream[rec_consume]
+        empty = system._is_empty(consumed)
+        if empty.any():
+            seg_block_ids = f.read_ids[rec0 // B : rec1 // B]
+            consumed_blocks = np.repeat(seg_block_ids, B)[rec_consume]
+            bad = np.unique(consumed_blocks[empty.reshape(-1)])
+            raise BlockStateError(
+                f"reading empty/partial blocks {list(bad)} under simple I/O"
+            )
+
+    write_addr = f.write_addr[wrec0:wrec1]
+    rec_wport = f.rec_write_portion[wrec0:wrec1]
+    write_portions = f.write_portions[w0:w1]
+    if system.simple_io and write_addr.size:
+        _require_write_targets_empty(system, write_portions, rec_wport, write_addr)
+
+    # Mutate: consume sources, then scatter targets (disjoint by the
+    # fusability check, so ordering is immaterial).
+    if any_consume:
+        for portion, idx in _portion_groups(read_portions, rec_rport):
+            mask = rec_consume if isinstance(idx, slice) else (idx & rec_consume)
+            data[portion, read_addr[mask]] = system.empty
+    if write_addr.size:
+        out = stream[f.write_source[wrec0:wrec1] - rec0]
+        keep = None if write_keep is None else write_keep[wrec0:wrec1]
+        for portion, idx in _portion_groups(write_portions, rec_wport):
+            if keep is None:
+                data[portion, write_addr[idx]] = out[idx]
+            else:
+                mask = keep if isinstance(idx, slice) else (idx & keep)
+                data[portion, write_addr[mask]] = out[mask]
+    return stream
+
+
+def _finish_pass(system: ParallelDiskSystem, f: _FusedPass) -> None:
+    """Bulk-record one fused pass's stats and memory effect."""
+    system.stats.record_pass_batch(
+        f.label,
+        parallel_reads=int(f.read_sizes.size),
+        parallel_writes=int(f.write_sizes.size),
+        striped_reads=int(f.read_striped.sum()),
+        striped_writes=int(f.write_striped.sum()),
+        blocks_read=int(f.read_sizes.sum()),
+        blocks_written=int(f.write_sizes.sum()),
+    )
+    mem = system.memory
+    mem.in_use += f.mem_net
+    if f.mem_peak > mem.peak:
+        mem.peak = f.mem_peak
+
+
+def _run_fused_pass(
+    system: ParallelDiskSystem,
+    f: _FusedPass,
+    budget: int | None,
+    report: ExecReport,
+    write_keep: np.ndarray | None = None,
+) -> None:
+    """Execute one fused pass, streaming when it exceeds ``budget``, and
+    fold its host-peak/streamed accounting and stats into ``report``."""
+    if budget is not None and f.stream_records > budget and f.num_steps > 1:
+        segments = _liveness_segments(f, budget)
+    else:
+        segments = [(0, f.num_steps)]
+    for s0, s1 in segments:
+        stream = _apply_segment(system, f, s0, s1, write_keep=write_keep)
+        report.host_peak_records = max(report.host_peak_records, stream.size)
+    if len(segments) > 1:
+        report.streamed_passes += 1
+    _finish_pass(system, f)
+
+
+def _execute_fast(
+    system: ParallelDiskSystem,
+    plan: IOPlan,
+    stream_records=None,
+    capture: bool = False,
+) -> ExecReport:
+    g = system.geometry
+    fused = [_fuse_pass(g, p) for p in plan.passes]
     for f in fused:
-        # Gather the pass's whole read stream from the pre-pass snapshot.
-        stream = np.empty(f.read_addr.size, dtype=system.dtype)
-        for portion, idx in _portion_groups(f.read_portions, f.rec_read_portion):
-            stream[idx] = data[portion, f.read_addr[idx]]
+        _check_pass(g, system.num_portions, system.simple_io, f)
+    _check_memory(g, system.memory.capacity, system.memory.in_use, fused)
 
-        consume = f.resolved_consume(system.simple_io)
-        rec_consume = np.repeat(consume, f.read_sizes * g.B)
-        if rec_consume.any():
-            consumed = stream[rec_consume]
-            empty = system._is_empty(consumed)
-            if empty.any():
-                consumed_blocks = np.repeat(f.read_ids, g.B)[rec_consume]
-                bad = np.unique(consumed_blocks[empty.reshape(-1)])
-                raise BlockStateError(
-                    f"reading empty/partial blocks {list(bad)} under simple I/O"
-                )
-
-        if system.simple_io and f.write_addr.size:
-            for portion, idx in _portion_groups(f.write_portions, f.rec_write_portion):
-                occupied = ~system._is_empty(data[portion, f.write_addr[idx]])
-                if occupied.any():
-                    bad = np.unique((f.write_addr[idx])[occupied] >> g.b)
-                    raise BlockStateError(
-                        f"writing to non-empty blocks under simple I/O: {list(bad)}"
-                    )
-
-        # Mutate: consume sources, then scatter targets (disjoint by the
-        # fusability check, so ordering is immaterial).
-        if rec_consume.any():
-            for portion, idx in _portion_groups(f.read_portions, f.rec_read_portion):
-                mask = rec_consume if isinstance(idx, slice) else (idx & rec_consume)
-                data[portion, f.read_addr[mask]] = system.empty
-        if f.write_addr.size:
-            out = stream[f.write_source]
-            for portion, idx in _portion_groups(f.write_portions, f.rec_write_portion):
-                data[portion, f.write_addr[idx]] = out[idx]
-
-        system.stats.record_pass_batch(
-            f.label,
-            parallel_reads=int(f.read_sizes.size),
-            parallel_writes=int(f.write_sizes.size),
-            striped_reads=int(f.read_striped.sum()),
-            striped_writes=int(f.write_striped.sum()),
-            blocks_read=int(f.read_sizes.sum()),
-            blocks_written=int(f.write_sizes.sum()),
-        )
-        mem = system.memory
-        mem.in_use += f.mem_net
-        if f.mem_peak > mem.peak:
-            mem.peak = f.mem_peak
+    budget = None if capture else _stream_budget(stream_records)
+    report = ExecReport(engine="fast", streams=[] if capture else None)
+    for f in fused:
+        if capture:  # whole stream, by construction of budget=None
+            stream = _apply_segment(system, f, 0, f.num_steps)
+            report.host_peak_records = max(report.host_peak_records, stream.size)
+            report.streams.append(stream)
+            _finish_pass(system, f)
+        else:
+            _run_fused_pass(system, f, budget, report)
+    return report
 
 
 # ------------------------------------------------------------------ dispatch
 def execute_plan(
     system: ParallelDiskSystem,
-    plan: IOPlan,
+    plan,
     engine: str = "strict",
-) -> None:
+    optimize: bool = False,
+    stream_records=None,
+    capture: bool = False,
+) -> ExecReport:
     """Execute an I/O plan under the chosen engine.
 
     ``strict`` replays step-by-step with full per-operation rule
@@ -443,12 +684,37 @@ def execute_plan(
     leave byte-identical portions and identical stats.  With observers
     attached, ``fast`` falls back to strict so every
     :class:`~repro.pdm.system.IOEvent` is still delivered.
+
+    ``plan`` may also be a pre-compiled
+    :class:`~repro.pdm.optimize.OptimizedPlan`; ``optimize=True``
+    compiles one on the fly (fast engine only).  ``stream_records``
+    bounds the fast engine's host read-stream buffer (``None`` = auto
+    at :data:`STREAM_AUTO_RECORDS`, ``0`` = never stream);
+    ``capture=True`` returns each pass's read stream in the report
+    (disables streaming -- the stream must be whole).
     """
+    from repro.pdm.optimize import OptimizedPlan  # local: optimize imports us
+
+    if isinstance(plan, OptimizedPlan):
+        return plan.execute(
+            system, engine=engine, stream_records=stream_records, capture=capture
+        )
     if engine not in ENGINES:
         raise ValidationError(f"unknown engine {engine!r}; choose from {ENGINES}")
     if plan.geometry != system.geometry:
         raise ValidationError("plan and system geometries differ")
+    if optimize and engine == "fast" and not capture and not system._observers:
+        from repro.pdm.optimize import optimize_plan
+
+        oplan = optimize_plan(
+            plan, num_portions=system.num_portions, simple_io=system.simple_io
+        )
+        return oplan.execute(system, engine=engine, stream_records=stream_records)
     if engine == "fast" and not system._observers:
-        _execute_fast(system, plan)
-    else:
-        _execute_strict(system, plan)
+        return _execute_fast(
+            system, plan, stream_records=stream_records, capture=capture
+        )
+    report = _execute_strict(system, plan, capture=capture)
+    if engine == "fast":
+        report.fell_back = "observers"
+    return report

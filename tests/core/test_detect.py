@@ -229,3 +229,78 @@ class TestSingleDiskEdgeCases:
         result = detect_bmmc(s)
         assert result.is_bmmc
         assert result.formation_reads == bounds.detection_formation_reads(g)
+
+
+class TestPlanEngines:
+    """Detection runs through IOPlans now: both engines, same answers."""
+
+    def test_fast_equals_strict_on_bmmc_input(self, geometry):
+        g = geometry
+        perm = BMMCPermutation(random_nonsingular(g.n, np.random.default_rng(20)), 0b11)
+        results = []
+        for engine in ("strict", "fast"):
+            s = detection_system(g, perm)
+            results.append((engine, detect_bmmc(s, engine=engine), s))
+        (_, strict_result, strict_sys), (_, fast_result, fast_sys) = results
+        for result in (strict_result, fast_result):
+            assert result.is_bmmc
+            assert result.matrix == perm.matrix
+            assert result.complement == perm.complement
+        assert strict_result.total_reads == fast_result.total_reads
+        assert strict_sys.stats.snapshot() == fast_sys.stats.snapshot()
+        # non-consuming reads: the data is untouched under both engines
+        assert (strict_sys.portion_values(0) == fast_sys.portion_values(0)).all()
+
+    def test_fast_engine_respects_read_bound(self, any_geometry):
+        g = any_geometry
+        perm = BMMCPermutation(random_nonsingular(g.n, np.random.default_rng(21)))
+        s = detection_system(g, perm)
+        result = detect_bmmc(s, engine="fast")
+        assert result.is_bmmc
+        assert result.total_reads == bounds.detection_read_bound(g)
+        assert s.stats.parallel_reads == result.total_reads
+
+    def test_fast_early_exit_reads_at_most_one_chunk_more(self, geometry):
+        g = geometry
+        perm = gray_code(g.n)
+        tv = perm.target_vector()
+        tv[[8, 16]] = tv[[16, 8]]
+        s1 = detection_system(g, tv)
+        strict = detect_bmmc(s1, engine="strict")
+        s2 = detection_system(g, tv)
+        fast = detect_bmmc(s2, engine="fast")
+        assert not strict.is_bmmc and not fast.is_bmmc
+        assert strict.reason == fast.reason  # same first mismatch stripe
+        chunk = max(1, g.stripes_per_memoryload)
+        assert fast.verification_reads <= strict.verification_reads + chunk
+        assert fast.verification_reads % chunk == 0
+
+    def test_detection_memory_is_transient(self, geometry):
+        """Discarding reads: nothing stays resident, peak is one read."""
+        g = geometry
+        perm = BMMCPermutation(random_nonsingular(g.n, np.random.default_rng(22)))
+        for engine in ("strict", "fast"):
+            s = detection_system(g, perm)
+            detect_bmmc(s, engine=engine)
+            assert s.memory.in_use == 0
+            assert s.memory.peak <= g.records_per_stripe
+
+    def test_detection_plans_validate(self, geometry):
+        from repro.core.detect import (
+            plan_detection_formation,
+            plan_detection_verification,
+        )
+        from repro.pdm.engine import validate_plan
+
+        g = geometry
+        s = detection_system(g, BMMCPermutation(random_nonsingular(g.n, np.random.default_rng(23))))
+        form = plan_detection_formation(g)
+        check = validate_plan(s, form)
+        assert check.parallel_reads == bounds.detection_formation_reads(g)
+        assert check.parallel_writes == 0
+        assert check.net_memory_records == 0
+        scan = plan_detection_verification(g)
+        check = validate_plan(s, scan)
+        assert check.parallel_reads == g.num_stripes
+        assert check.striped_reads == g.num_stripes
+        assert check.net_memory_records == 0

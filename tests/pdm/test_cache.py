@@ -1,0 +1,176 @@
+"""Tests for the compiled-plan cache (:mod:`repro.pdm.cache`)."""
+
+import numpy as np
+import pytest
+
+from repro.bits.random import random_mld_matrix
+from repro.core.bmmc_algorithm import perform_bmmc
+from repro.core.mld_algorithm import perform_mld_pass, plan_mld_pass
+from repro.core.runner import perform_permutation
+from repro.pdm.cache import PlanCache, cached_execute, compile_plan, plan_key
+from repro.pdm.engine import execute_plan
+from repro.pdm.geometry import DiskGeometry
+from repro.pdm.system import ParallelDiskSystem
+from repro.perms.bmmc import BMMCPermutation
+from repro.perms.library import bit_reversal
+
+
+@pytest.fixture
+def geometry() -> DiskGeometry:
+    return DiskGeometry(N=2**12, B=2**3, D=2**2, M=2**7)
+
+
+def fresh(g, **kwargs):
+    s = ParallelDiskSystem(g, **kwargs)
+    s.fill_identity(0)
+    return s
+
+
+def mld_perm(g, seed=0):
+    return BMMCPermutation(random_mld_matrix(g.n, g.b, g.m, np.random.default_rng(seed)))
+
+
+class TestPlanCache:
+    def test_miss_then_hit(self, geometry):
+        g = geometry
+        cache = PlanCache()
+        perm = mld_perm(g)
+        key = plan_key("mld", g, perm.matrix, perm.complement, 0, 1)
+        builds = []
+
+        def build():
+            builds.append(1)
+            return plan_mld_pass(g, perm), None
+
+        _, _, hit1 = cached_execute(fresh(g), cache, key, build)
+        _, _, hit2 = cached_execute(fresh(g), cache, key, build)
+        assert (hit1, hit2) == (False, True)
+        assert len(builds) == 1
+        info = cache.info()
+        assert info.hits == 1 and info.misses == 1 and info.size == 1
+
+    def test_distinct_matrices_distinct_entries(self, geometry):
+        g = geometry
+        cache = PlanCache()
+        for seed in range(3):
+            perm = mld_perm(g, seed)
+            key = plan_key("mld", g, perm.matrix, perm.complement, 0, 1)
+            cached_execute(
+                fresh(g), cache, key, lambda p=perm: (plan_mld_pass(g, p), None)
+            )
+        assert len(cache) == 3
+        assert cache.info().hits == 0
+
+    def test_lru_eviction(self, geometry):
+        g = geometry
+        cache = PlanCache(maxsize=2)
+        keys = []
+        for seed in range(3):
+            perm = mld_perm(g, seed)
+            key = plan_key("mld", g, perm.matrix, perm.complement, 0, 1)
+            keys.append(key)
+            cached_execute(
+                fresh(g), cache, key, lambda p=perm: (plan_mld_pass(g, p), None)
+            )
+        assert len(cache) == 2
+        assert cache.info().evictions == 1
+        assert keys[0] not in cache and keys[1] in cache and keys[2] in cache
+
+    def test_cached_execution_equivalent_to_strict(self, geometry):
+        g = geometry
+        perm = mld_perm(g)
+        strict = fresh(g)
+        execute_plan(strict, plan_mld_pass(g, perm), engine="strict")
+
+        cache = PlanCache()
+        for _ in range(2):  # second run is the cache hit
+            s = fresh(g)
+            perform_mld_pass(s, perm, engine="fast", optimize=True, cache=cache)
+            assert (s.portion_values(1) == strict.portion_values(1)).all()
+            assert s.stats.snapshot() == strict.stats.snapshot()
+            assert [p for p in s.stats.passes] == [p for p in strict.stats.passes]
+            assert s.memory.peak == strict.memory.peak
+
+    def test_compile_plan_prevalidates(self, geometry):
+        g = geometry
+        perm = mld_perm(g)
+        compiled = compile_plan(g, plan_mld_pass(g, perm))
+        assert compiled.check.parallel_ios == g.one_pass_ios
+        assert compiled.optimized is not None
+        # fused metadata is warm: every pass carries its fused cache
+        assert all("fused" in p._fused for p in compiled.plan.passes)
+
+
+class TestCachedAlgorithms:
+    def test_perform_bmmc_cache_round_trip(self, geometry):
+        g = geometry
+        rev = bit_reversal(g.n)
+        cache = PlanCache()
+        reference = fresh(g)
+        ref_result = perform_bmmc(reference, rev, engine="strict")
+
+        results = []
+        for _ in range(2):
+            s = fresh(g)
+            results.append(perform_bmmc(s, rev, engine="fast", cache=cache))
+            assert (
+                s.portion_values(ref_result.final_portion)
+                == reference.portion_values(ref_result.final_portion)
+            ).all()
+            assert s.stats.snapshot() == reference.stats.snapshot()
+        assert cache.info().hits == 1
+        for r in results:
+            assert r.final_portion == ref_result.final_portion
+            assert r.parallel_ios == ref_result.parallel_ios
+            assert [st.name for st in r.steps] == [st.name for st in ref_result.steps]
+
+    def test_runner_cache_and_optimize(self, geometry):
+        g = geometry
+        rev = bit_reversal(g.n)
+        cache = PlanCache()
+        reference = fresh(g)
+        ref = perform_permutation(reference, rev, engine="strict")
+
+        for _ in range(2):
+            s = fresh(g)
+            rep = perform_permutation(
+                s, rev, engine="fast", optimize=True, cache=cache
+            )
+            assert rep.verified
+            assert rep.method == ref.method
+            assert rep.passes == ref.passes
+            assert rep.io == ref.io
+            assert s.stats.snapshot() == reference.stats.snapshot()
+        assert cache.info().hits >= 1
+
+    def test_one_entry_serves_both_optimize_settings(self, geometry):
+        """A cache entry stored by an optimize=True caller must honor a
+        later optimize=False caller (and vice versa): the flag selects
+        the executed form per call, it is not baked into the entry."""
+        g = geometry
+        rev = bit_reversal(g.n)
+        reference = fresh(g)
+        ref = perform_bmmc(reference, rev, engine="strict")
+        cache = PlanCache()
+        for optimize in (True, False, True):
+            s = fresh(g)
+            perform_bmmc(s, rev, engine="fast", optimize=optimize, cache=cache)
+            assert (
+                s.portion_values(ref.final_portion)
+                == reference.portion_values(ref.final_portion)
+            ).all()
+            assert s.stats.snapshot() == reference.stats.snapshot()
+        assert cache.info().misses == 1 and cache.info().hits == 2
+
+    def test_strict_engine_through_cache(self, geometry):
+        """A cached plan replayed strictly still matches reference strict."""
+        g = geometry
+        perm = mld_perm(g)
+        strict = fresh(g)
+        execute_plan(strict, plan_mld_pass(g, perm), engine="strict")
+        cache = PlanCache()
+        for _ in range(2):
+            s = fresh(g)
+            perform_mld_pass(s, perm, engine="strict", cache=cache)
+            assert (s.portion_values(1) == strict.portion_values(1)).all()
+            assert s.stats.snapshot() == strict.stats.snapshot()

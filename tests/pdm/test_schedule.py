@@ -124,3 +124,76 @@ class TestIOPlan:
         assert isinstance(pas, PlanPass)
         assert pas.num_read_blocks == g.blocks_per_memoryload
         assert pas.num_write_blocks == g.blocks_per_memoryload
+
+
+class TestComposeMerge:
+    """Adjacent compatible passes merge on extend/concatenate; unmergeable
+    label collisions are disambiguated instead of silently duplicated."""
+
+    def _half_plan(self, g, ml, label="mld-half"):
+        b = PlanBuilder(g)
+        b.begin_pass(label)
+        slots = b.read_memoryload(0, ml)
+        b.write_memoryload(1, ml, slots)
+        return b.build()
+
+    def test_disjoint_same_label_passes_merge(self, geometry):
+        g = geometry
+        combined = self._half_plan(g, 0).extend(self._half_plan(g, 1))
+        assert combined.num_passes == 1
+        pas = combined.passes[0]
+        assert pas.label == "mld-half"
+        assert pas.num_read_blocks == 2 * g.blocks_per_memoryload
+        assert combined.parallel_ios == 4 * g.stripes_per_memoryload
+
+    def test_merged_plan_executes_like_unmerged(self, geometry):
+        from repro.pdm.engine import ENGINES, execute_plan
+        from repro.pdm.system import ParallelDiskSystem
+
+        g = geometry
+        merged = self._half_plan(g, 0).extend(self._half_plan(g, 1))
+        unmerged = self._half_plan(g, 0).extend(self._half_plan(g, 1), merge=False)
+        assert unmerged.num_passes == 2
+        outputs = []
+        for plan in (merged, unmerged):
+            for engine in ENGINES:
+                s = ParallelDiskSystem(g)
+                s.fill_identity(0)
+                execute_plan(s, plan, engine=engine)
+                outputs.append(s.portion_values(1))
+                assert s.stats.parallel_ios == plan.parallel_ios
+        for out in outputs[1:]:
+            assert (out == outputs[0]).all()
+
+    def test_ping_pong_passes_never_merge(self, geometry):
+        """A pass re-reading what the previous one wrote must stay separate."""
+        g = geometry
+        b = PlanBuilder(g)
+        b.begin_pass("p")
+        slots = b.read_memoryload(0, 0)
+        b.write_memoryload(1, 0, slots)
+        first = b.build()
+        b2 = PlanBuilder(g)
+        b2.begin_pass("p")
+        slots = b2.read_memoryload(1, 0)
+        b2.write_memoryload(0, 0, slots)
+        combined = first.extend(b2.build())
+        assert combined.num_passes == 2
+
+    def test_unmergeable_label_collision_disambiguated(self, geometry):
+        g = geometry
+        b = PlanBuilder(g)
+        b.begin_pass("p")
+        slots = b.read_memoryload(1, 0)
+        b.write_memoryload(0, 0, slots)
+        first_builder = PlanBuilder(g)
+        first_builder.begin_pass("p")
+        slots = first_builder.read_memoryload(0, 0)
+        first_builder.write_memoryload(1, 0, slots)
+        combined = first_builder.build().extend(b.build())
+        assert [p.label for p in combined.passes] == ["p", "p@2"]
+
+    def test_different_labels_unchanged(self, geometry):
+        g = geometry
+        combined = self._half_plan(g, 0, "a").extend(self._half_plan(g, 1, "b"))
+        assert [p.label for p in combined.passes] == ["a", "b"]
