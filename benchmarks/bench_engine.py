@@ -287,6 +287,66 @@ def test_engine_huge_n_streaming(benchmark):
     )
 
 
+def test_strict_streaming_host_peak(benchmark):
+    """Strict replay under the liveness-streamed host buffer.
+
+    The PR-2 follow-up: strict execution used to materialize a pass's
+    whole O(N) read stream on the host.  It now reuses the fast
+    executor's liveness segmentation to recycle the buffer, so the
+    guard asserted for fast mode holds for strict replay too -- host
+    peak at the chunk budget, strictly below one full pass's stream --
+    while the per-operation rule-checked I/O path (and its exact
+    2N/BD accounting) is unchanged.
+    """
+    n = 22  # strict replay is per-operation; keep the huge run to 2^22
+    if n > HUGE_MAX_N:
+        import pytest
+
+        pytest.skip(f"BENCH_HUGE_MAX_N={HUGE_MAX_N} disables the huge-N sweep")
+    g = DiskGeometry(N=2**n, **SHAPE)
+    rng = np.random.default_rng(SEED + n)
+    perm = BMMCPermutation(random_mld_matrix(g.n, g.b, g.m, rng))
+    plan = plan_mld_pass(g, perm)
+
+    records = {}
+
+    def run():
+        s = ParallelDiskSystem(g)
+        s.fill_identity(0)
+        t0 = time.perf_counter()
+        report = execute_plan(
+            s, plan, engine="strict", stream_records=STREAM_BUDGET
+        )
+        t_exec = time.perf_counter() - t0
+
+        # ---- the guard: sub-O(N) host buffering under strict replay ----
+        full_stream = g.N
+        assert report.engine == "strict"
+        assert report.streamed_passes == plan.num_passes
+        assert report.host_peak_records < full_stream, (
+            f"strict host peak {report.host_peak_records} not below a full "
+            f"pass stream ({full_stream}) at N=2^{n}"
+        )
+        assert report.host_peak_records <= STREAM_BUDGET
+
+        # Correctness + paper accounting, same bar as the fast guard.
+        assert s.verify_permutation(perm, np.arange(g.N), 1)
+        assert s.stats.parallel_ios == g.one_pass_ios
+        assert s.memory.peak <= g.M
+
+        records.update(
+            N=2**n,
+            strict_stream_s=t_exec,
+            host_peak_records=report.host_peak_records,
+            full_stream_records=full_stream,
+            stream_budget=STREAM_BUDGET,
+            guard="host_peak_records < full_stream_records (strict engine)",
+        )
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    _update_optimizer_results("strict_streaming", records)
+
+
 def test_optimizer_cache_speedup(benchmark):
     """Cold vs. warm (cache-hit) service and optimized vs. plain fast.
 

@@ -160,6 +160,7 @@ def perform_bmmc(
     engine: str = "strict",
     optimize: bool = False,
     cache: PlanCache | None = None,
+    stream_records=None,
 ) -> BMMCRunResult:
     """Perform a BMMC permutation on the simulator (Theorem 21's algorithm).
 
@@ -189,7 +190,8 @@ def perform_bmmc(
             return io_plan, {"steps": steps, "final": final}
 
         compiled, _, _ = cached_execute(
-            system, cache, key, build, engine=engine, optimize=optimize
+            system, cache, key, build, engine=engine, optimize=optimize,
+            stream_records=stream_records,
         )
         return BMMCRunResult(
             steps=compiled.meta["steps"],
@@ -199,7 +201,10 @@ def perform_bmmc(
     if plan is None:
         plan = plan_bmmc_passes(perm, system.geometry, merge_factors=merge_factors)
     io_plan, final = plan_bmmc_io(system.geometry, plan, source_portion, target_portion)
-    execute_plan(system, io_plan, engine=engine, optimize=optimize)
+    execute_plan(
+        system, io_plan, engine=engine, optimize=optimize,
+        stream_records=stream_records,
+    )
     return BMMCRunResult(
         steps=plan,
         final_portion=final,

@@ -217,6 +217,7 @@ def perform_general_sort(
     fan_in: int | None = None,
     engine: str = "strict",
     optimize: bool = False,
+    stream_records=None,
 ) -> GeneralSortResult:
     """Permute by external merge sort on target addresses.
 
@@ -236,7 +237,10 @@ def perform_general_sort(
         fan_in=fan_in,
     )
     before = system.stats.parallel_ios
-    execute_plan(system, plan.io_plan, engine=engine, optimize=optimize)
+    execute_plan(
+        system, plan.io_plan, engine=engine, optimize=optimize,
+        stream_records=stream_records,
+    )
     return GeneralSortResult(
         passes=plan.passes,
         fan_in=plan.fan_in,

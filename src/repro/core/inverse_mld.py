@@ -147,6 +147,7 @@ def perform_inverse_mld_pass(
     engine: str = "strict",
     optimize: bool = False,
     cache: PlanCache | None = None,
+    stream_records=None,
 ) -> None:
     """Perform an inverse-MLD permutation in one pass."""
     if cache is not None:
@@ -164,7 +165,7 @@ def perform_inverse_mld_pass(
                 ),
                 None,
             ),
-            engine=engine, optimize=optimize,
+            engine=engine, optimize=optimize, stream_records=stream_records,
         )
         return
     plan = plan_inverse_mld_pass(
@@ -175,7 +176,10 @@ def perform_inverse_mld_pass(
         label=label,
         check_class=check_class,
     )
-    execute_plan(system, plan, engine=engine, optimize=optimize)
+    execute_plan(
+        system, plan, engine=engine, optimize=optimize,
+        stream_records=stream_records,
+    )
 
 
 def plan_mld_composition_pass(
@@ -266,6 +270,7 @@ def perform_mld_composition_pass(
     engine: str = "strict",
     optimize: bool = False,
     cache: PlanCache | None = None,
+    stream_records=None,
 ) -> BMMCPermutation:
     """Perform ``Y o X^-1`` in one pass; returns the composed permutation."""
     if cache is not None:
@@ -284,11 +289,14 @@ def perform_mld_composition_pass(
                 ),
                 None,
             ),
-            engine=engine, optimize=optimize,
+            engine=engine, optimize=optimize, stream_records=stream_records,
         )
         return y_perm.compose(x_perm.inverse())
     plan = plan_mld_composition_pass(
         system.geometry, y_perm, x_perm, source_portion, target_portion, label=label
     )
-    execute_plan(system, plan, engine=engine, optimize=optimize)
+    execute_plan(
+        system, plan, engine=engine, optimize=optimize,
+        stream_records=stream_records,
+    )
     return y_perm.compose(x_perm.inverse())

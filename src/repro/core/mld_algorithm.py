@@ -98,12 +98,14 @@ def perform_mld_pass(
     engine: str = "strict",
     optimize: bool = False,
     cache: PlanCache | None = None,
+    stream_records=None,
 ) -> None:
     """Perform an MLD permutation in one pass (striped reads, independent writes).
 
     ``cache`` reuses a compiled plan for repeated (geometry, matrix)
     workloads; ``optimize`` runs the plan-level rewrites of
-    :mod:`repro.pdm.optimize` (fast engine only).
+    :mod:`repro.pdm.optimize` (fast engine only); ``stream_records``
+    bounds the executor's host read-stream buffer.
     """
     if cache is not None:
         key = plan_key(
@@ -120,7 +122,7 @@ def perform_mld_pass(
                 ),
                 None,
             ),
-            engine=engine, optimize=optimize,
+            engine=engine, optimize=optimize, stream_records=stream_records,
         )
         return
     plan = plan_mld_pass(
@@ -131,4 +133,7 @@ def perform_mld_pass(
         label=label,
         check_class=check_class,
     )
-    execute_plan(system, plan, engine=engine, optimize=optimize)
+    execute_plan(
+        system, plan, engine=engine, optimize=optimize,
+        stream_records=stream_records,
+    )

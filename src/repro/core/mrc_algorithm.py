@@ -68,11 +68,13 @@ def perform_mrc_pass(
     engine: str = "strict",
     optimize: bool = False,
     cache: PlanCache | None = None,
+    stream_records=None,
 ) -> None:
     """Perform an MRC permutation in one pass (striped reads and writes).
 
     ``cache`` reuses a compiled plan for repeated (geometry, matrix)
-    workloads; ``optimize`` enables the plan-level rewrites.
+    workloads; ``optimize`` enables the plan-level rewrites;
+    ``stream_records`` bounds the executor's host buffer.
     """
     if cache is not None:
         key = plan_key(
@@ -88,10 +90,13 @@ def perform_mrc_pass(
                 ),
                 None,
             ),
-            engine=engine, optimize=optimize,
+            engine=engine, optimize=optimize, stream_records=stream_records,
         )
         return
     plan = plan_mrc_pass(
         system.geometry, perm, source_portion, target_portion, label=label
     )
-    execute_plan(system, plan, engine=engine, optimize=optimize)
+    execute_plan(
+        system, plan, engine=engine, optimize=optimize,
+        stream_records=stream_records,
+    )

@@ -74,8 +74,9 @@ def perform_permutation(
     ``engine`` selects plan execution: ``strict`` replays every parallel
     I/O through the rule-checked simulator path, ``fast`` runs the same
     plan as fused numpy batches (identical portions and stats).  The
-    distribution sort is adaptive (its I/Os depend on sampled state) and
-    always executes strictly.
+    distribution sort is adaptive (its I/Os depend on sampled state); it
+    runs as a staged plan (:mod:`repro.pdm.stage`) whose stages execute
+    under either engine.
 
     ``optimize`` compiles the plan through :mod:`repro.pdm.optimize`
     (cross-pass fusion, dead-write elimination; fast engine only) and
@@ -84,8 +85,9 @@ def perform_permutation(
     skipping classification, planning, fusing, and validation.  Both
     leave portions and :class:`~repro.pdm.stats.IOStats` identical to
     an unoptimized strict run.  The general sort's schedule is
-    data-dependent and is never cached; the distribution sort supports
-    neither knob.
+    data-dependent and is never cached; the distribution sort caches
+    its materialized staged plan keyed by the RNG seed (its canonical
+    input makes the schedule a pure function of the seed and knobs).
 
     The source portion must already hold the canonical payloads
     (``fill_identity``); verification checks
@@ -152,7 +154,10 @@ def perform_permutation(
     elif chosen == "distribution":
         from repro.core.distribution import perform_distribution_sort
 
-        result = perform_distribution_sort(system, perm, source_portion, target_portion)
+        result = perform_distribution_sort(
+            system, perm, source_portion, target_portion,
+            engine=engine, optimize=optimize, cache=cache,
+        )
         final = result.final_portion
     else:
         raise ValidationError(f"unknown method {method!r}")

@@ -28,14 +28,16 @@ When observers are attached (e.g. :class:`~repro.pdm.trace.IOTrace`),
 ``execute_plan`` silently falls back to strict so per-operation events
 keep flowing.
 
-Host-memory note: the strict executor materializes a pass's whole read
-stream on the host (one record per record read, i.e. O(N) for a full
-pass).  The fast executor *streams*: when a pass's read stream exceeds
-the chunk budget (``stream_records``, default auto at
-:data:`STREAM_AUTO_RECORDS`), it is cut at liveness boundaries -- step
-positions after which every already-read stream slot has retired, i.e.
-no later write sources it -- and executed chunk by chunk, so the host
-working set is O(live slots) instead of O(N).  Planner-emitted passes
+Host-memory note: both executors *stream* their host-side read-stream
+buffer.  When a pass's read stream exceeds the chunk budget
+(``stream_records``, default auto at :data:`STREAM_AUTO_RECORDS`), it
+is cut at liveness boundaries -- step positions after which every
+already-read stream slot has retired, i.e. no later write sources it --
+and the buffer is recycled chunk by chunk, so the host working set is
+O(live slots) instead of O(N).  The fast engine executes each chunk as
+one fused gather/scatter; strict replay still issues every I/O through
+the rule-checked per-operation path and merely reuses the smaller
+buffer.  Planner-emitted passes
 retire a memoryload's slots as soon as its writes are planned, so their
 live set is ~M and arbitrarily large N executes in bounded host memory.
 Every ``execute_plan`` call returns an :class:`ExecReport` recording
@@ -158,6 +160,28 @@ def _segment_striped(g, ids: np.ndarray, sizes: np.ndarray) -> np.ndarray:
     return (sizes == g.D) & (lo == hi)
 
 
+def _read_cumulatives(B, is_read, read_sizes):
+    """(read steps before each step position, records read before each
+    read step) -- shared by fusion and liveness segmentation."""
+    read_before = np.concatenate(([0], np.cumsum(is_read, dtype=np.int64)))
+    read_rec_cum = np.concatenate(([0], np.cumsum(read_sizes * B, dtype=np.int64)))
+    return read_before, read_rec_cum
+
+
+def _write_source_extrema(B, write_sizes, write_source):
+    """Per-write-step (min, max) sourced stream slot, empty-safe."""
+    if write_sizes.size and (write_sizes > 0).all():
+        offsets = np.concatenate(([0], np.cumsum(write_sizes * B)[:-1]))
+        return (
+            np.minimum.reduceat(write_source, offsets),
+            np.maximum.reduceat(write_source, offsets),
+        )
+    return (
+        np.full(write_sizes.size, _I64_MAX, dtype=np.int64),
+        np.full(write_sizes.size, -1, dtype=np.int64),
+    )
+
+
 def _fuse_pass(g: DiskGeometry, pas: PlanPass) -> _FusedPass:
     """Fused metadata for one pass, cached on the pass object.
 
@@ -193,22 +217,15 @@ def _fuse_pass(g: DiskGeometry, pas: PlanPass) -> _FusedPass:
     f.write_striped = _segment_striped(g, f.write_ids, f.write_sizes)
     f.write_source = cols.write_source
 
-    if f.write_sizes.size and (f.write_sizes > 0).all():
-        offsets = np.concatenate(([0], np.cumsum(f.write_sizes * B)[:-1]))
-        f.write_source_max = np.maximum.reduceat(f.write_source, offsets)
-        f.write_source_min = np.minimum.reduceat(f.write_source, offsets)
-    else:
-        f.write_source_max = np.full(f.write_sizes.size, -1, dtype=np.int64)
-        f.write_source_min = np.full(f.write_sizes.size, _I64_MAX, dtype=np.int64)
+    f.write_source_min, f.write_source_max = _write_source_extrema(
+        B, f.write_sizes, f.write_source
+    )
 
     # Step-position cumulatives: how many read/write steps (and records)
     # precede each step position.  These drive strict replay parity,
     # the ordering audit, and streaming segmentation.
-    f.read_before = np.concatenate(([0], np.cumsum(f.is_read, dtype=np.int64)))
+    f.read_before, f.read_rec_cum = _read_cumulatives(B, f.is_read, f.read_sizes)
     f.write_before = np.concatenate(([0], np.cumsum(~f.is_read, dtype=np.int64)))
-    f.read_rec_cum = np.concatenate(
-        ([0], np.cumsum(f.read_sizes * B, dtype=np.int64))
-    )
     f.write_rec_cum = np.concatenate(
         ([0], np.cumsum(f.write_sizes * B, dtype=np.int64))
     )
@@ -415,38 +432,74 @@ def validate_plan(system: ParallelDiskSystem, plan: IOPlan) -> PlanCheck:
 
 # --------------------------------------------------------------- strict mode
 def _execute_strict(
-    system: ParallelDiskSystem, plan: IOPlan, capture: bool = False
+    system: ParallelDiskSystem,
+    plan: IOPlan,
+    capture: bool = False,
+    stream_records=None,
 ) -> ExecReport:
+    """Per-I/O replay with liveness-streamed host buffering.
+
+    Strict replay keeps the reference semantics -- every operation goes
+    through the counted, rule-checked ``read_blocks``/``write_blocks``
+    path and observers see every event -- but the host-side read-stream
+    buffer is recycled at the same liveness boundaries the fast
+    executor streams at: when a pass's read stream exceeds the chunk
+    budget, the buffer holds only the live chunk, not the whole pass.
+    ``capture=True`` needs whole streams and disables streaming, as in
+    fast mode.
+    """
     g = system.geometry
+    budget = None if capture else _stream_budget(stream_records)
     report = ExecReport(engine="strict", streams=[] if capture else None)
     for pas in plan.passes:
-        stream = np.empty(pas.num_read_blocks * g.B, dtype=system.dtype)
-        report.host_peak_records = max(report.host_peak_records, stream.size)
-        cursor = 0
+        pass_records = pas.num_read_blocks * g.B
+        if budget is not None and pass_records > budget and pas.num_steps > 1:
+            meta = _segment_meta(g, pas)
+            segments = _liveness_segments(meta, budget)
+        else:
+            meta = None
+            segments = [(0, pas.num_steps)]
+        if len(segments) > 1:
+            report.streamed_passes += 1
+        steps = pas.steps
+        base = 0  # records read before the current segment
         system.stats.begin_pass(pas.label)
         try:
-            for step in pas.steps:
-                if step.kind == "read":
-                    values = system.read_blocks(
-                        step.portion, step.block_ids, consume=step.consume
-                    )
-                    stream[cursor : cursor + values.size] = values.reshape(-1)
-                    cursor += values.size
-                    if step.discard:
-                        system.memory.release(values.size)
+            for s0, s1 in segments:
+                if meta is None:
+                    chunk = pass_records
                 else:
-                    if step.source.size and (
-                        int(step.source.min()) < 0 or int(step.source.max()) >= cursor
-                    ):
-                        raise PlanError(
-                            f"pass {pas.label!r}: write sources slots outside the "
-                            f"records read so far ([0, {cursor}))"
-                        )
-                    system.write_blocks(
-                        step.portion,
-                        step.block_ids,
-                        stream[step.source].reshape(step.num_blocks, g.B),
+                    chunk = int(
+                        meta.read_rec_cum[meta.read_before[s1]]
+                        - meta.read_rec_cum[meta.read_before[s0]]
                     )
+                stream = np.empty(chunk, dtype=system.dtype)
+                report.host_peak_records = max(report.host_peak_records, chunk)
+                cursor = 0
+                for step in steps[s0:s1]:
+                    if step.kind == "read":
+                        values = system.read_blocks(
+                            step.portion, step.block_ids, consume=step.consume
+                        )
+                        stream[cursor : cursor + values.size] = values.reshape(-1)
+                        cursor += values.size
+                        if step.discard:
+                            system.memory.release(values.size)
+                    else:
+                        if step.source.size and (
+                            int(step.source.min()) < base
+                            or int(step.source.max()) >= base + cursor
+                        ):
+                            raise PlanError(
+                                f"pass {pas.label!r}: write sources slots outside "
+                                f"the records read so far ([{base}, {base + cursor}))"
+                            )
+                        system.write_blocks(
+                            step.portion,
+                            step.block_ids,
+                            stream[step.source - base].reshape(step.num_blocks, g.B),
+                        )
+                base += cursor
         finally:
             system.stats.end_pass()
         if capture:
@@ -498,7 +551,43 @@ def _stream_budget(stream_records) -> int | None:
     return int(stream_records)
 
 
-def _liveness_segments(f: _FusedPass, budget: int) -> list[tuple[int, int]]:
+class _SegmentMeta:
+    """Step-level segmentation inputs: what :func:`_liveness_segments`
+    needs and nothing more (no record-level gather/scatter arrays)."""
+
+    __slots__ = ("num_steps", "is_read", "read_before", "read_rec_cum", "write_source_min")
+
+
+def _segment_meta(g: DiskGeometry, pas: PlanPass):
+    """Liveness-segmentation metadata for one pass, O(steps) memory.
+
+    Strict replay streams through per-operation I/O and never touches
+    the fused record-address arrays, so building a full
+    :class:`_FusedPass` (O(pass records) host memory) just to find cut
+    points would defeat the streaming guard.  Reuses an existing fused
+    cache entry when the fast engine already paid for one.
+    """
+    cached = pas._fused.get("fused")
+    if cached is not None and cached.num_steps == pas.num_steps:
+        return cached
+    meta = pas._fused.get("segmeta")
+    if meta is not None and meta.num_steps == pas.num_steps:
+        return meta
+    c = pas._ensure_columns()
+    meta = _SegmentMeta()
+    meta.num_steps = c.num_steps
+    meta.is_read = c.is_read
+    meta.read_before, meta.read_rec_cum = _read_cumulatives(
+        g.B, c.is_read, c.read_sizes
+    )
+    meta.write_source_min, _ = _write_source_extrema(
+        g.B, c.write_sizes, c.write_source
+    )
+    pas._fused["segmeta"] = meta
+    return meta
+
+
+def _liveness_segments(f, budget: int) -> list[tuple[int, int]]:
     """Cut a pass into step ranges whose read-stream chunks fit ``budget``.
 
     A cut after step ``i`` is *valid* when every write at a later step
@@ -688,7 +777,7 @@ def execute_plan(
     ``plan`` may also be a pre-compiled
     :class:`~repro.pdm.optimize.OptimizedPlan`; ``optimize=True``
     compiles one on the fly (fast engine only).  ``stream_records``
-    bounds the fast engine's host read-stream buffer (``None`` = auto
+    bounds either engine's host read-stream buffer (``None`` = auto
     at :data:`STREAM_AUTO_RECORDS`, ``0`` = never stream);
     ``capture=True`` returns each pass's read stream in the report
     (disables streaming -- the stream must be whole).
@@ -714,7 +803,9 @@ def execute_plan(
         return _execute_fast(
             system, plan, stream_records=stream_records, capture=capture
         )
-    report = _execute_strict(system, plan, capture=capture)
+    report = _execute_strict(
+        system, plan, capture=capture, stream_records=stream_records
+    )
     if engine == "fast":
         report.fell_back = "observers"
     return report

@@ -324,7 +324,9 @@ class OptimizedPlan:
         if self.plan.geometry != system.geometry:
             raise ValidationError("plan and system geometries differ")
         if engine == "strict" or system._observers:
-            report = _execute_strict(system, self.plan, capture=capture)
+            report = _execute_strict(
+                system, self.plan, capture=capture, stream_records=stream_records
+            )
             if engine == "fast":
                 report.fell_back = "observers"
             return report

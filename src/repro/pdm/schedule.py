@@ -435,6 +435,42 @@ class IOPlan:
     def blocks_moved(self) -> int:
         return sum(p.num_read_blocks + p.num_write_blocks for p in self.passes)
 
+    # ------------------------------------------------------------ simulation
+    def apply_to(self, portions: np.ndarray, simple_io: bool = True, empty=None) -> None:
+        """Apply the plan's data movement to a bare portions array, in place.
+
+        ``portions`` has shape ``(num_portions, N)``.  This is the pure
+        semantics of the plan -- gather each pass's read stream, empty
+        consumed blocks, scatter the writes -- with no system, no model
+        rules, and no I/O accounting.  The staged-plan materializer
+        (:mod:`repro.pdm.stage`) uses it to advance simulated state
+        between stages; it assumes the *fused* within-pass semantics
+        (reads before writes), which every pass the fast engine accepts
+        satisfies.  ``empty`` defaults to the system's
+        :data:`~repro.pdm.system.EMPTY` sentinel.
+        """
+        if empty is None:
+            from repro.pdm.system import EMPTY  # local: system is a peer module
+
+            empty = EMPTY
+        g = self.geometry
+        offsets = np.arange(g.B, dtype=np.int64)[None, :]
+        for pas in self.passes:
+            c = pas._ensure_columns()
+            read_addr = ((c.read_ids[:, None] << g.b) + offsets).reshape(-1)
+            rec_rport = np.repeat(c.read_portions, c.read_sizes * g.B)
+            stream = portions[rec_rport, read_addr]
+            consume = np.where(
+                c.read_consume_default, simple_io, c.read_consume_value
+            )
+            rec_consume = np.repeat(consume, c.read_sizes * g.B)
+            if rec_consume.any():
+                portions[rec_rport[rec_consume], read_addr[rec_consume]] = empty
+            if c.write_source.size:
+                write_addr = ((c.write_ids[:, None] << g.b) + offsets).reshape(-1)
+                rec_wport = np.repeat(c.write_portions, c.write_sizes * g.B)
+                portions[rec_wport, write_addr] = stream[c.write_source]
+
     def describe(self) -> str:
         lines = [
             f"IOPlan over {self.geometry.describe()}",

@@ -1,0 +1,232 @@
+"""Golden reference for the staged distribution sort: the pre-port code.
+
+This is the hand-written performer `repro.core.distribution` shipped
+before the plan/engine port, kept verbatim (imports aside) as a
+differential oracle: for any permutation and seed, the staged planner
+must reproduce this implementation's portions, placement map, I/O
+trace, and memory envelope byte for byte.  Test-only -- it drives the
+simulator directly, which production code no longer may.
+"""
+
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.distribution import DistributionSortResult, tune_parameters
+from repro.errors import ValidationError
+from repro.pdm.system import ParallelDiskSystem
+from repro.perms.base import Permutation
+
+__all__ = ["reference_distribution_sort"]
+
+
+def reference_distribution_sort(
+    system: ParallelDiskSystem,
+    perm: Permutation,
+    source_portion: int = 0,
+    target_portion: int = 1,
+    digit_bits: int | None = None,
+    prefetch_window: int | None = None,
+    seed: int = 0,
+) -> DistributionSortResult:
+    """Permute by randomized-placement LSD distribution sort.
+
+    Record payloads must be the records' source addresses (the canonical
+    ``fill_identity`` input); the record with payload ``v`` ends at
+    address ``perm(v)``.
+    """
+    g = system.geometry
+    auto_w, auto_window = tune_parameters(g)
+    w = auto_w if digit_bits is None else digit_bits
+    window = auto_window if prefetch_window is None else prefetch_window
+    if w < 1 or window < 1:
+        raise ValidationError("digit_bits and prefetch_window must be positive")
+    rng = np.random.default_rng(seed)
+    before = system.stats.parallel_ios
+    reads_before = system.stats.parallel_reads
+    writes_before = system.stats.parallel_writes
+    blocks_read_before = system.stats.blocks_read
+
+    total_digit_bits = g.n - g.b
+    num_passes = -(-total_digit_bits // w)
+    # logical->physical block map of the current input (identity at start)
+    map_in = np.arange(g.num_blocks, dtype=np.int64)
+    pin, pout = source_portion, target_portion
+
+    for p in range(num_passes):
+        shift = g.b + p * w
+        bits_here = min(w, g.n - shift)
+        system.stats.begin_pass(f"dist:digit{p}")
+        map_in = _distribution_pass(
+            system, perm, pin, map_in, pout, shift, bits_here, window, rng
+        )
+        system.stats.end_pass()
+        pin, pout = pout, pin
+
+    system.stats.begin_pass("dist:gather")
+    _gather_pass(system, perm, pin, map_in, pout, window)
+    system.stats.end_pass()
+
+    return DistributionSortResult(
+        passes=num_passes + 1,
+        digit_bits=w,
+        prefetch_window=window,
+        final_portion=pout,
+        parallel_ios=system.stats.parallel_ios - before,
+        read_ops=system.stats.parallel_reads - reads_before,
+        write_ops=system.stats.parallel_writes - writes_before,
+        blocks_per_pass_read=system.stats.blocks_read - blocks_read_before,
+    )
+
+
+# --------------------------------------------------------------------------
+# the passes
+# --------------------------------------------------------------------------
+
+def _distribution_pass(system, perm, pin, map_in, pout, shift, bits, window, rng):
+    g = system.geometry
+    num_buckets = 1 << bits
+    bucket_blocks = g.num_blocks // num_buckets
+    mask = np.int64(num_buckets - 1)
+
+    reader = _SequentialPrefetcher(system, pin, map_in, window)
+    writer = _RandomPlacementWriter(system, pout, rng)
+
+    # bucket fill buffers
+    buffers = np.empty((num_buckets, g.B), dtype=np.int64)
+    fill = np.zeros(num_buckets, dtype=np.int64)
+    completed = np.zeros(num_buckets, dtype=np.int64)
+
+    for logical in range(g.num_blocks):
+        values = reader.get(logical)
+        keys = np.asarray(perm.apply_array(values.astype(np.uint64)), dtype=np.int64)
+        digits = (keys >> np.int64(shift)) & mask
+        order = np.argsort(digits, kind="stable")
+        sorted_digits = digits[order]
+        sorted_values = values[order]
+        uniq, starts = np.unique(sorted_digits, return_index=True)
+        starts = list(starts) + [len(sorted_digits)]
+        for idx, bucket in enumerate(uniq):
+            chunk = sorted_values[starts[idx] : starts[idx + 1]]
+            bucket = int(bucket)
+            pos = 0
+            while pos < len(chunk):
+                take = min(g.B - int(fill[bucket]), len(chunk) - pos)
+                buffers[bucket, fill[bucket] : fill[bucket] + take] = chunk[
+                    pos : pos + take
+                ]
+                fill[bucket] += take
+                pos += take
+                if fill[bucket] == g.B:
+                    out_logical = bucket * bucket_blocks + int(completed[bucket])
+                    writer.submit(out_logical, buffers[bucket].copy())
+                    completed[bucket] = completed[bucket] + 1
+                    fill[bucket] = 0
+        writer.flush(min_pending=g.D)
+    writer.flush(min_pending=1)
+    assert not fill.any(), "buckets must drain exactly (block-aligned extents)"
+    return writer.logical_to_physical()
+
+
+def _gather_pass(system, perm, pin, map_in, pout, window):
+    """Read sorted blocks in logical order, fix offsets, write striped."""
+    g = system.geometry
+    reader = _SequentialPrefetcher(system, pin, map_in, window)
+    stripe_buf = np.empty((g.D, g.B), dtype=np.int64)
+    for logical in range(g.num_blocks):
+        values = reader.get(logical)
+        keys = np.asarray(perm.apply_array(values.astype(np.uint64)), dtype=np.int64)
+        # all records of this logical block share one target block; order
+        # them by target offset in memory (free -- the paper's in-memory
+        # permutation step)
+        order = np.argsort(keys)
+        target_block = int(keys[order[0]]) >> g.b
+        assert int(keys[order[-1]]) >> g.b == target_block, "not fully sorted"
+        stripe_buf[logical % g.D] = values[order]
+        if logical % g.D == g.D - 1:
+            stripe = logical // g.D
+            system.write_stripe(pout, stripe, stripe_buf)
+
+
+class _SequentialPrefetcher:
+    """In-order consumption with bounded lookahead and D-wide batching."""
+
+    def __init__(self, system, portion, logical_to_physical, window):
+        self.system = system
+        self.portion = portion
+        self.map = logical_to_physical
+        self.window = max(1, window)
+        self.buffer: dict[int, np.ndarray] = {}
+        self.cursor = 0  # next logical block the consumer will ask for
+        self.total = len(logical_to_physical)
+
+    def get(self, logical: int) -> np.ndarray:
+        assert logical == self.cursor, "consumption must be sequential"
+        while logical not in self.buffer:
+            self._issue_read(logical)
+        self.cursor += 1
+        return self.buffer.pop(logical)
+
+    def _issue_read(self, needed: int) -> None:
+        g = self.system.geometry
+        batch: list[int] = []
+        used: set[int] = set()
+        end = min(needed + self.window, self.total)
+        for ℓ in range(needed, end):
+            if ℓ in self.buffer:
+                continue
+            disk = int(g.block_disk(int(self.map[ℓ])))
+            if disk in used:
+                continue
+            batch.append(ℓ)
+            used.add(disk)
+            if len(batch) == g.D:
+                break
+        physical = [int(self.map[ℓ]) for ℓ in batch]
+        values = self.system.read_blocks(self.portion, physical)
+        for ℓ, vals in zip(batch, values):
+            self.buffer[ℓ] = vals
+
+
+class _RandomPlacementWriter:
+    """Buffers completed blocks; flushes batches to random distinct disks."""
+
+    def __init__(self, system, portion, rng):
+        self.system = system
+        self.portion = portion
+        self.rng = rng
+        g = system.geometry
+        self.free_slots = [list(range(g.num_stripes)) for _ in range(g.D)]
+        for slots in self.free_slots:
+            rng.shuffle(slots)
+        self.pending: list[tuple[int, np.ndarray]] = []
+        self._map = np.full(g.num_blocks, -1, dtype=np.int64)
+
+    def submit(self, logical: int, values: np.ndarray) -> None:
+        self.pending.append((logical, values))
+
+    def flush(self, min_pending: int) -> None:
+        g = self.system.geometry
+        while len(self.pending) >= min_pending and self.pending:
+            batch = self.pending[: g.D]
+            self.pending = self.pending[g.D :]
+            disks_with_space = [d for d in range(g.D) if self.free_slots[d]]
+            if len(batch) > len(disks_with_space):  # pragma: no cover
+                raise AssertionError("placement capacity exhausted early")
+            chosen = self.rng.choice(
+                len(disks_with_space), size=len(batch), replace=False
+            )
+            block_ids = []
+            for (logical, _values), pick in zip(batch, chosen):
+                disk = disks_with_space[int(pick)]
+                stripe = self.free_slots[disk].pop()
+                physical = stripe * g.D + disk
+                self._map[logical] = physical
+                block_ids.append(physical)
+            data = np.stack([values for _logical, values in batch])
+            self.system.write_blocks(self.portion, block_ids, data)
+
+    def logical_to_physical(self) -> np.ndarray:
+        assert (self._map >= 0).all(), "every logical block must be placed"
+        return self._map

@@ -170,3 +170,81 @@ class TestExplicitParameters:
         assert ok
         # every read moves exactly one block
         assert res.blocks_per_pass_read == res.read_ops
+
+
+class TestStagedPort:
+    """The plan/engine port: knobs, meta, and the no-direct-I/O guarantee."""
+
+    def test_module_performs_no_direct_io(self):
+        """Acceptance guard: `core/distribution.py` never calls the
+        simulator's I/O methods -- all data movement flows through
+        staged IOPlans executed by the engines."""
+        import inspect
+
+        import repro.core.distribution as module
+
+        source = inspect.getsource(module)
+        for forbidden in (
+            "system.read_blocks", "system.write_blocks",
+            "system.read_stripe", "system.write_stripe",
+            "system.read_memoryload", "system.write_memoryload",
+            ".memory.allocate", ".memory.release",
+            "stats.begin_pass", "stats.end_pass",
+        ):
+            assert forbidden not in source, forbidden
+
+    def test_plan_distribution_sort_meta(self, geometry):
+        from repro.core.distribution import plan_distribution_sort
+
+        g = geometry
+        staged = plan_distribution_sort(g, vector_reversal(g.n), digit_bits=2)
+        expected_passes = -(-(g.n - g.b) // 2) + 1
+        assert staged.meta["passes"] == expected_passes
+        assert staged.meta["digit_bits"] == 2
+        assert staged.meta["final_portion"] in (0, 1)
+
+    def test_engine_parity(self, geometry):
+        tv = np.random.default_rng(20).permutation(geometry.N)
+        perm = ExplicitPermutation(tv)
+        s1, r1, ok1 = run(geometry, perm, seed=4, engine="strict")
+        s2, r2, ok2 = run(geometry, perm, seed=4, engine="fast")
+        assert ok1 and ok2
+        assert s1.stats.snapshot() == s2.stats.snapshot()
+        assert (s1.portion_values(0) == s2.portion_values(0)).all()
+        assert (s1.portion_values(1) == s2.portion_values(1)).all()
+        assert s1.memory.peak == s2.memory.peak
+
+    def test_optimized_cached_run_verifies(self, geometry):
+        from repro.pdm.cache import PlanCache
+
+        tv = np.random.default_rng(21).permutation(geometry.N)
+        perm = ExplicitPermutation(tv)
+        cache = PlanCache()
+        for expected_hits in (0, 1):
+            s, res, ok = run(
+                geometry, perm, seed=4, engine="fast", optimize=True, cache=cache
+            )
+            assert ok
+            assert cache.info().hits == expected_hits
+
+    def test_runner_threads_knobs_to_distribution(self, geometry):
+        from repro.core.runner import perform_permutation
+        from repro.pdm.cache import PlanCache
+
+        g = geometry
+        tv = np.random.default_rng(22).permutation(g.N)
+        perm = ExplicitPermutation(tv)
+        cache = PlanCache()
+        reports = []
+        for _ in range(2):
+            s = ParallelDiskSystem(g)
+            s.fill_identity(0)
+            reports.append(
+                perform_permutation(
+                    s, perm, method="distribution", engine="fast",
+                    optimize=True, cache=cache,
+                )
+            )
+        assert all(r.verified for r in reports)
+        assert reports[0].io == reports[1].io
+        assert cache.info().hits == 1

@@ -174,3 +174,65 @@ class TestCachedAlgorithms:
             perform_mld_pass(s, perm, engine="strict", cache=cache)
             assert (s.portion_values(1) == strict.portion_values(1)).all()
             assert s.stats.snapshot() == strict.stats.snapshot()
+
+
+class TestRandomizedPlannerKeys:
+    """Randomized planners must key their compiled plans by RNG seed."""
+
+    @pytest.fixture
+    def dist_geometry(self) -> DiskGeometry:
+        return DiskGeometry(N=2**12, B=2**3, D=2**2, M=2**8)
+
+    def test_different_seed_is_a_miss_not_a_stale_replay(self, dist_geometry):
+        """A warm cache hit with a *different* seed would replay the other
+        seed's placement map; it must be a fresh miss instead."""
+        from repro.core.distribution import perform_distribution_sort
+        from repro.perms.base import ExplicitPermutation
+
+        g = dist_geometry
+        perm = ExplicitPermutation(np.random.default_rng(1).permutation(g.N))
+        cache = PlanCache()
+
+        s1 = fresh(g)
+        perform_distribution_sort(s1, perm, seed=1, engine="fast", cache=cache)
+        assert cache.info() == cache.info().__class__(
+            hits=0, misses=1, evictions=0, size=1, maxsize=cache.maxsize
+        )
+
+        s2 = fresh(g)
+        perform_distribution_sort(s2, perm, seed=2, engine="fast", cache=cache)
+        info = cache.info()
+        assert info.misses == 2 and info.hits == 0 and info.size == 2
+
+        # seed 2's intermediate placements differ from seed 1's, so the
+        # runs are distinguishable -- a stale replay would be detectable
+        # (and wrong); the final sorted output of course agrees
+        assert (s1.portion_values(0) == s2.portion_values(0)).all()
+
+        # and a same-seed repeat is a genuine warm hit with identical state
+        s3 = fresh(g)
+        perform_distribution_sort(s3, perm, seed=1, engine="fast", cache=cache)
+        assert cache.info().hits == 1
+        assert (s3.portion_values(0) == s1.portion_values(0)).all()
+        assert (s3.portion_values(1) == s1.portion_values(1)).all()
+        assert s3.stats.snapshot() == s1.stats.snapshot()
+
+    def test_seed_traces_differ_so_sharing_would_be_wrong(self, dist_geometry):
+        """Justifies the key split: different seeds produce different
+        write placements, so one compiled plan cannot serve both."""
+        from repro.core.distribution import plan_distribution_sort
+        from repro.pdm.stage import identity_portions, materialize_staged
+        from repro.perms.base import ExplicitPermutation
+
+        g = dist_geometry
+        perm = ExplicitPermutation(np.random.default_rng(1).permutation(g.N))
+        plans = [
+            materialize_staged(
+                plan_distribution_sort(g, perm, seed=seed), identity_portions(g)
+            )
+            for seed in (1, 2)
+        ]
+        first_digit = [p.passes[0]._ensure_columns() for p in plans]
+        assert (
+            first_digit[0].write_ids.tobytes() != first_digit[1].write_ids.tobytes()
+        )

@@ -1,0 +1,166 @@
+"""Unit tests for staged adaptive plans (repro.pdm.stage)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.pdm.engine import execute_plan
+from repro.pdm.geometry import DiskGeometry
+from repro.pdm.schedule import PlanBuilder
+from repro.pdm.stage import (
+    SimulatedStageView,
+    StagedPlan,
+    execute_staged,
+    identity_portions,
+    materialize_staged,
+)
+from repro.pdm.system import EMPTY, ParallelDiskSystem
+
+
+@pytest.fixture
+def geometry():
+    return DiskGeometry(N=2**8, B=2**2, D=2**2, M=2**5)
+
+
+def fresh(g):
+    s = ParallelDiskSystem(g)
+    s.fill_identity(0)
+    return s
+
+
+def reverse_stripe_plan(g, src, dst, label):
+    """One pass moving every stripe from ``src`` to ``dst`` reversed."""
+    b = PlanBuilder(g)
+    b.begin_pass(label)
+    for stripe in range(g.num_stripes):
+        slots = b.read_stripe(src, stripe)
+        b.write_stripe(dst, stripe, slots[::-1].copy())
+    return b.build()
+
+
+def adaptive_two_stage(g):
+    """Stage 2's schedule depends on state stage 1 materialized."""
+
+    def emit(view):
+        yield reverse_stripe_plan(g, 0, 1, "flip")
+        # adaptive choice: peek the first record stage 1 produced and
+        # pick the second stage's target portion from its parity
+        first = int(view.peek(1, 0, 1)[0])
+        yield reverse_stripe_plan(g, 1, 0, f"flop{first % 2}")
+
+    return StagedPlan(g, emit)
+
+
+class TestApplyTo:
+    def test_matches_engine_execution(self, geometry):
+        g = geometry
+        plan = reverse_stripe_plan(g, 0, 1, "flip")
+        system = fresh(g)
+        execute_plan(system, plan, engine="strict")
+        portions = identity_portions(g)
+        plan.apply_to(portions)
+        assert (portions[0] == system.portion_values(0)).all()
+        assert (portions[1] == system.portion_values(1)).all()
+
+    def test_consume_respects_simple_io_flag(self, geometry):
+        g = geometry
+        b = PlanBuilder(g)
+        b.begin_pass("peek")
+        b.read_stripe(0, 0, consume=False)
+        plan = b.build()
+        portions = identity_portions(g)
+        plan.apply_to(portions, simple_io=False)
+        assert (portions[0] == np.arange(g.N)).all()  # nothing consumed
+
+
+class TestExecuteStaged:
+    def test_adaptive_emitter_sees_materialized_state(self, geometry):
+        g = geometry
+        system = fresh(g)
+        report = execute_staged(system, adaptive_two_stage(g), engine="strict")
+        assert report.stages == 2
+        assert report.passes == 2
+        # double reversal restores identity into portion 0
+        assert (system.portion_values(0) == np.arange(g.N)).all()
+        # the adaptive label derived from materialized state exists
+        labels = [p.label for p in system.stats.passes]
+        assert labels[0] == "flip" and labels[1].startswith("flop")
+
+    def test_engines_agree_on_staged_execution(self, geometry):
+        g = geometry
+        strict, fast = fresh(g), fresh(g)
+        execute_staged(strict, adaptive_two_stage(g), engine="strict")
+        execute_staged(fast, adaptive_two_stage(g), engine="fast")
+        for portion in range(2):
+            assert (
+                strict.portion_values(portion) == fast.portion_values(portion)
+            ).all()
+        assert strict.stats.snapshot() == fast.stats.snapshot()
+        assert strict.stats.passes == fast.stats.passes
+        assert strict.memory.peak == fast.memory.peak
+
+    def test_geometry_mismatch_rejected(self, geometry):
+        other = DiskGeometry(N=2**9, B=2**2, D=2**2, M=2**5)
+        with pytest.raises(ValidationError):
+            execute_staged(fresh(other), adaptive_two_stage(geometry))
+
+    def test_emitted_stage_geometry_checked(self, geometry):
+        g = geometry
+        other = DiskGeometry(N=2**9, B=2**2, D=2**2, M=2**5)
+
+        def emit(view):
+            yield reverse_stripe_plan(other, 0, 1, "bad")
+
+        with pytest.raises(ValidationError):
+            execute_staged(fresh(g), StagedPlan(g, emit))
+
+    def test_report_aggregates_streaming(self, geometry):
+        g = geometry
+        system = fresh(g)
+        report = execute_staged(
+            system, adaptive_two_stage(g), engine="fast",
+            stream_records=g.records_per_stripe,
+        )
+        assert report.streamed_passes == 2
+        assert report.host_peak_records <= g.records_per_stripe
+        assert len(report.reports) == 2
+
+
+class TestMaterialize:
+    def test_materialized_equals_staged(self, geometry):
+        g = geometry
+        live = fresh(g)
+        execute_staged(live, adaptive_two_stage(g), engine="strict")
+
+        composed = materialize_staged(adaptive_two_stage(g), identity_portions(g))
+        assert composed.num_passes == 2
+        replayed = fresh(g)
+        execute_plan(replayed, composed, engine="strict")
+        for portion in range(2):
+            assert (
+                live.portion_values(portion) == replayed.portion_values(portion)
+            ).all()
+        assert live.stats.snapshot() == replayed.stats.snapshot()
+        assert live.stats.passes == replayed.stats.passes
+
+    def test_no_stages_rejected(self, geometry):
+        g = geometry
+
+        def emit(view):
+            return iter(())
+
+        with pytest.raises(ValidationError):
+            materialize_staged(StagedPlan(g, emit), identity_portions(g))
+
+    def test_simulated_view_shape_checked(self, geometry):
+        with pytest.raises(ValidationError):
+            SimulatedStageView(geometry, np.zeros(geometry.N, dtype=np.int64))
+
+
+class TestIdentityPortions:
+    def test_canonical_shape(self, geometry):
+        g = geometry
+        portions = identity_portions(g, num_portions=3, source_portion=1)
+        assert portions.shape == (3, g.N)
+        assert (portions[1] == np.arange(g.N)).all()
+        assert (portions[0] == EMPTY).all() and (portions[2] == EMPTY).all()

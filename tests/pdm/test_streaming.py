@@ -96,6 +96,75 @@ class TestStreaming:
         assert report.host_peak_records == g.N
 
 
+class TestStrictStreaming:
+    """Strict replay recycles its host buffer at liveness boundaries."""
+
+    def test_strict_streamed_equals_unstreamed(self, geometry):
+        g = geometry
+        perm = BMMCPermutation(random_mld_matrix(g.n, g.b, g.m, np.random.default_rng(6)))
+        plan = plan_mld_pass(g, perm)
+        whole = fresh(g)
+        execute_plan(whole, plan, engine="strict", stream_records=0)
+        streamed = fresh(g)
+        report = execute_plan(streamed, plan, engine="strict", stream_records=g.M)
+        assert report.engine == "strict"
+        assert report.streamed_passes == 1
+        assert report.host_peak_records <= g.M  # not O(N)
+        assert_equivalent(whole, streamed)
+        assert streamed.verify_permutation(perm, np.arange(g.N), 1)
+
+    def test_strict_and_fast_streamed_agree(self, geometry):
+        g = geometry
+        rev = bit_reversal(g.n)
+        plan, final = plan_bmmc_io(g, plan_bmmc_passes(rev, g))
+        strict = fresh(g)
+        rs = execute_plan(strict, plan, engine="strict", stream_records=g.M)
+        fast = fresh(g)
+        rf = execute_plan(fast, plan, engine="fast", stream_records=g.M)
+        assert rs.streamed_passes == rf.streamed_passes == plan.num_passes
+        assert rs.host_peak_records == rf.host_peak_records
+        assert_equivalent(strict, fast)
+        assert strict.verify_permutation(rev, np.arange(g.N), final)
+
+    def test_strict_streaming_keeps_observer_events(self, geometry):
+        """Streaming only changes host buffering, not the I/O sequence."""
+        g = geometry
+        perm = BMMCPermutation(random_mld_matrix(g.n, g.b, g.m, np.random.default_rng(7)))
+        plan = plan_mld_pass(g, perm)
+        traces = []
+        for budget in (0, g.M):
+            s = fresh(g)
+            events = []
+            s.add_observer(
+                lambda e, events=events: events.append(
+                    (e.kind, e.portion, tuple(e.block_ids))
+                )
+            )
+            execute_plan(s, plan, engine="strict", stream_records=budget)
+            traces.append(events)
+        assert traces[0] == traces[1]
+
+    def test_strict_liveness_floor(self, geometry):
+        """A sub-live-set budget chunks at liveness, like fast mode."""
+        g = geometry
+        perm = BMMCPermutation(random_mld_matrix(g.n, g.b, g.m, np.random.default_rng(8)))
+        plan = plan_mld_pass(g, perm)
+        reference = fresh(g)
+        execute_plan(reference, plan, engine="strict", stream_records=0)
+        s = fresh(g)
+        report = execute_plan(s, plan, engine="strict", stream_records=1)
+        assert report.host_peak_records == g.M  # MLD retires per memoryload
+        assert_equivalent(reference, s)
+
+    def test_strict_zero_disables_streaming(self, geometry):
+        g = geometry
+        perm = BMMCPermutation(random_mld_matrix(g.n, g.b, g.m, np.random.default_rng(9)))
+        plan = plan_mld_pass(g, perm)
+        report = execute_plan(fresh(g), plan, engine="strict", stream_records=0)
+        assert report.streamed_passes == 0
+        assert report.host_peak_records == g.N
+
+
 class TestCapture:
     def test_capture_returns_pass_streams(self, geometry):
         g = geometry
