@@ -64,6 +64,12 @@ from repro.core import (
     plan_bmmc_passes,
     store_target_vector,
 )
+from repro.serve import (
+    PermutationRequest,
+    PermutationService,
+    ServiceResult,
+    synthetic_mix,
+)
 
 __version__ = "1.0.0"
 
@@ -86,6 +92,10 @@ __all__ = [
     "perform_permutation",
     "plan_bmmc_passes",
     "store_target_vector",
+    "PermutationRequest",
+    "PermutationService",
+    "ServiceResult",
+    "synthetic_mix",
     "ReproError",
     "ValidationError",
     "DimensionError",

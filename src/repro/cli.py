@@ -5,6 +5,7 @@ Subcommands
 ``info``    geometry summary plus Figure 1 / Figure 2 renderings
 ``bounds``  every closed-form bound for a geometry and rank gamma
 ``run``     perform a named permutation on the simulator and report
+``serve``   run a request mix concurrently on a worker pool
 ``detect``  run-time BMMC detection on a named permutation's vector
 ``factor``  show the Section 5 factorization of a characteristic matrix
 
@@ -13,6 +14,7 @@ Examples
 python -m repro info --N 64 --B 2 --D 8 --M 32
 python -m repro run --perm bit-reversal --N 4096 --B 8 --D 4 --M 128
 python -m repro run --perm random-bmmc --rank-gamma 2 --method general
+python -m repro serve --workers 8 --count 32 --repeat 2
 python -m repro detect --perm gray --tamper
 python -m repro factor --seed 7 --N 4096 --B 8 --D 4 --M 128
 """
@@ -22,17 +24,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-import numpy as np
-
 from repro import bounds
-from repro.bits import linalg
-from repro.bits.random import (
-    random_bmmc_with_rank_gamma,
-    random_bit_permutation,
-    random_mld_matrix,
-    random_mrc_matrix,
-    random_nonsingular,
-)
 from repro.core.detect import detect_bmmc, store_target_vector
 from repro.core.factoring import factor_bmmc
 from repro.core.runner import perform_permutation
@@ -42,27 +34,10 @@ from repro.pdm.geometry import DiskGeometry
 from repro.pdm.layout import render_figure1, render_figure2
 from repro.pdm.system import ParallelDiskSystem
 from repro.pdm.trace import IOTrace, render_timeline
-from repro.perms.base import ExplicitPermutation
 from repro.perms.bmmc import BMMCPermutation
-from repro.perms import library
+from repro.serve import PERM_CHOICES, make_permutation
 
 __all__ = ["main", "build_parser"]
-
-PERM_CHOICES = [
-    "identity",
-    "transpose",
-    "bit-reversal",
-    "vector-reversal",
-    "gray",
-    "gray-inverse",
-    "permuted-gray",
-    "shuffle",
-    "random-bmmc",
-    "random-bpc",
-    "random-mrc",
-    "random-mld",
-    "random",
-]
 
 METHOD_CHOICES = [
     "auto",
@@ -85,43 +60,6 @@ def _add_geometry_args(parser: argparse.ArgumentParser) -> None:
 
 def _geometry(args) -> DiskGeometry:
     return DiskGeometry(N=args.N, B=args.B, D=args.D, M=args.M)
-
-
-def _make_permutation(name: str, geometry: DiskGeometry, seed: int, rank_gamma: int | None):
-    g = geometry
-    rng = np.random.default_rng(seed)
-    if name == "identity":
-        from repro.bits.matrix import BitMatrix
-
-        return BMMCPermutation(BitMatrix.identity(g.n))
-    if name == "transpose":
-        return library.matrix_transpose(g.n // 2, g.n - g.n // 2)
-    if name == "bit-reversal":
-        return library.bit_reversal(g.n)
-    if name == "vector-reversal":
-        return library.vector_reversal(g.n)
-    if name == "gray":
-        return library.gray_code(g.n)
-    if name == "gray-inverse":
-        return library.gray_code_inverse(g.n)
-    if name == "permuted-gray":
-        return library.permuted_gray_code(g.n, list(rng.permutation(g.n)))
-    if name == "shuffle":
-        return library.perfect_shuffle(g.n)
-    if name == "random-bmmc":
-        r = min(g.b, g.n - g.b) if rank_gamma is None else rank_gamma
-        return BMMCPermutation(
-            random_bmmc_with_rank_gamma(g.n, g.b, r, rng), int(rng.integers(0, g.N))
-        )
-    if name == "random-bpc":
-        return BMMCPermutation(random_bit_permutation(g.n, rng), validate=False)
-    if name == "random-mrc":
-        return BMMCPermutation(random_mrc_matrix(g.n, g.m, rng))
-    if name == "random-mld":
-        return BMMCPermutation(random_mld_matrix(g.n, g.b, g.m, rng))
-    if name == "random":
-        return ExplicitPermutation(rng.permutation(g.N))
-    raise ReproError(f"unknown permutation {name!r}")  # pragma: no cover
 
 
 # --------------------------------------------------------------------------
@@ -169,7 +107,7 @@ def cmd_run(args) -> int:
     from repro.pdm.cache import PlanCache
 
     g = _geometry(args)
-    perm = _make_permutation(args.perm, g, args.seed, args.rank_gamma)
+    perm = make_permutation(args.perm, g, seed=args.seed, rank_gamma=args.rank_gamma)
     repeat = max(1, args.repeat)
     cache = PlanCache() if (args.cache or repeat > 1) else None
     if repeat > 1 and (args.timeline or args.trace):
@@ -221,9 +159,77 @@ def cmd_run(args) -> int:
     return 0 if report.verified else 1
 
 
+def cmd_serve(args) -> int:
+    import time
+
+    from repro.serve import (
+        PermutationService,
+        load_requests,
+        run_sequential,
+        synthetic_mix,
+    )
+
+    g = _geometry(args)
+    if args.requests:
+        try:
+            requests = load_requests(args.requests)
+        except (OSError, ValueError) as exc:  # missing file, malformed JSON
+            print(f"error: cannot load {args.requests}: {exc}", file=sys.stderr)
+            return 2
+    else:
+        requests = synthetic_mix(
+            args.count,
+            seed=args.seed,
+            distinct_seeds=args.distinct_seeds,
+            engine=args.engine,
+            optimize=not args.no_optimize,
+        )
+    requests = requests * max(1, args.repeat)
+    if not requests:
+        print("no requests to serve", file=sys.stderr)
+        return 2
+
+    t0 = time.perf_counter()
+    if args.workers <= 1:
+        results = run_sequential(g, requests)
+        cache_info = None
+    else:
+        with PermutationService(
+            g,
+            workers=args.workers,
+            cache_maxsize=args.cache_size,
+            num_shards=args.shards,
+        ) as service:
+            results = service.run(requests)
+            cache_info = service.cache_info()
+    elapsed = time.perf_counter() - t0
+
+    failed = [r for r in results if not r.ok]
+    unverified = [r for r in results if r.ok and not r.report.verified]
+    shown = results if args.verbose else results[: min(len(results), 8)]
+    for result in shown:
+        print(result.summary())
+    if len(shown) < len(results):
+        print(f"... ({len(results) - len(shown)} more; --verbose shows all)")
+    print(
+        f"\nserved {len(results)} requests in {elapsed:.3f}s "
+        f"({len(results) / elapsed:.1f} req/s) on {args.workers} worker(s); "
+        f"{len(failed)} failed, {len(unverified)} unverified"
+    )
+    if cache_info is not None:
+        print(
+            f"plan cache: {cache_info.hits} hits / {cache_info.misses} misses "
+            f"/ {cache_info.evictions} evictions "
+            f"({cache_info.size}/{cache_info.maxsize} compiled plans held)"
+        )
+    for result in failed:
+        print(f"  {result.summary()}", file=sys.stderr)
+    return 1 if (failed or unverified) else 0
+
+
 def cmd_detect(args) -> int:
     g = _geometry(args)
-    perm = _make_permutation(args.perm, g, args.seed, args.rank_gamma)
+    perm = make_permutation(args.perm, g, seed=args.seed, rank_gamma=args.rank_gamma)
     targets = perm.target_vector()
     if args.tamper:
         i, j = 1 % g.N, (g.N // 2 + 1) % g.N
@@ -248,7 +254,7 @@ def cmd_detect(args) -> int:
 
 def cmd_factor(args) -> int:
     g = _geometry(args)
-    perm = _make_permutation(args.perm, g, args.seed, args.rank_gamma)
+    perm = make_permutation(args.perm, g, seed=args.seed, rank_gamma=args.rank_gamma)
     if not isinstance(perm, BMMCPermutation):
         print("factoring requires a BMMC permutation", file=sys.stderr)
         return 1
@@ -376,6 +382,31 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--timeline", action="store_true", help="ASCII disk timeline")
     p_run.add_argument("--timeline-ops", type=int, default=64)
     p_run.set_defaults(func=cmd_run)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="serve a request mix concurrently on a worker pool",
+        description="Execute many permutation requests on a thread pool "
+        "with per-worker disk systems and one shared sharded plan cache. "
+        "Requests come from --requests (JSON lines or a JSON array of "
+        "PermutationRequest fields) or a deterministic synthetic "
+        "MLD/MRC/BMMC/distribution mix (--count/--distinct-seeds); "
+        "--repeat replays the whole mix, which is what makes the shared "
+        "cache warm.",
+    )
+    _add_geometry_args(p_serve)
+    p_serve.add_argument("--workers", type=int, default=4, help="pool threads (1 = sequential reference)")
+    p_serve.add_argument("--requests", type=str, default=None, help="request file (JSON lines or array)")
+    p_serve.add_argument("--count", type=int, default=24, help="synthetic mix length (ignored with --requests)")
+    p_serve.add_argument("--repeat", type=int, default=1, help="serve the request list this many times")
+    p_serve.add_argument("--seed", type=int, default=0)
+    p_serve.add_argument("--distinct-seeds", type=int, default=2, help="seed rotation of the synthetic mix (key cardinality)")
+    p_serve.add_argument("--engine", choices=list(ENGINES), default="fast")
+    p_serve.add_argument("--no-optimize", action="store_true", help="skip plan-level rewrites")
+    p_serve.add_argument("--cache-size", type=int, default=64, help="shared plan cache capacity")
+    p_serve.add_argument("--shards", type=int, default=8, help="cache lock shards")
+    p_serve.add_argument("--verbose", action="store_true", help="print every result line")
+    p_serve.set_defaults(func=cmd_serve)
 
     p_detect = sub.add_parser("detect", help="run-time BMMC detection")
     _add_geometry_args(p_detect)

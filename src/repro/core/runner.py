@@ -26,7 +26,12 @@ from repro.perms.bmmc import BMMCPermutation
 from repro.perms.bpc import cross_rank
 from repro.perms.classify import PermClass, classify, fit_bmmc
 
-__all__ = ["RunReport", "perform_permutation", "perform_pipeline"]
+__all__ = [
+    "RunReport",
+    "perform_permutation",
+    "perform_pipeline",
+    "perform_requests",
+]
 
 
 @dataclass
@@ -62,6 +67,8 @@ def perform_permutation(
     engine: str = "strict",
     optimize: bool = False,
     cache: PlanCache | None = None,
+    seed: int = 0,
+    stream_records=None,
 ) -> RunReport:
     """Run ``perm`` on ``system`` and report.
 
@@ -88,6 +95,11 @@ def perform_permutation(
     data-dependent and is never cached; the distribution sort caches
     its materialized staged plan keyed by the RNG seed (its canonical
     input makes the schedule a pure function of the seed and knobs).
+
+    ``seed`` feeds the distribution sort's placement RNG (other methods
+    are deterministic and ignore it); ``stream_records`` bounds the
+    executors' host read-stream buffer as in
+    :func:`repro.pdm.engine.execute_plan`.
 
     The source portion must already hold the canonical payloads
     (``fill_identity``); verification checks
@@ -117,12 +129,14 @@ def perform_permutation(
         perform_mrc_pass(
             system, _require_bmmc(bperm, chosen), source_portion, target_portion,
             engine=engine, optimize=optimize, cache=cache,
+            stream_records=stream_records,
         )
         final = target_portion
     elif chosen == "mld":
         perform_mld_pass(
             system, _require_bmmc(bperm, chosen), source_portion, target_portion,
             engine=engine, optimize=optimize, cache=cache,
+            stream_records=stream_records,
         )
         final = target_portion
     elif chosen == "inv-mld":
@@ -131,6 +145,7 @@ def perform_permutation(
         perform_inverse_mld_pass(
             system, _require_bmmc(bperm, chosen), source_portion, target_portion,
             engine=engine, optimize=optimize, cache=cache,
+            stream_records=stream_records,
         )
         final = target_portion
     elif chosen in ("bmmc", "bmmc-unmerged"):
@@ -143,20 +158,22 @@ def perform_permutation(
             engine=engine,
             optimize=optimize,
             cache=cache,
+            stream_records=stream_records,
         )
         final = result.final_portion
     elif chosen == "general":
         result = perform_general_sort(
             system, perm, source_portion, target_portion, engine=engine,
-            optimize=optimize,
+            optimize=optimize, stream_records=stream_records,
         )
         final = result.final_portion
     elif chosen == "distribution":
         from repro.core.distribution import perform_distribution_sort
 
         result = perform_distribution_sort(
-            system, perm, source_portion, target_portion,
+            system, perm, source_portion, target_portion, seed=seed,
             engine=engine, optimize=optimize, cache=cache,
+            stream_records=stream_records,
         )
         final = result.final_portion
     else:
@@ -222,6 +239,34 @@ def perform_pipeline(
         optimize=optimize,
         cache=cache,
     )
+
+
+def perform_requests(
+    geometry,
+    requests,
+    workers: int = 1,
+    cache=None,
+    cache_maxsize: int = 64,
+):
+    """Run a batch of :class:`~repro.serve.PermutationRequest`\\ s.
+
+    ``workers <= 1`` is the sequential reference semantics: one fresh
+    system per request, executed in submission order through
+    :func:`perform_permutation` -- exactly what the concurrency suites
+    compare the service against.  ``workers > 1`` delegates to
+    :class:`~repro.serve.PermutationService` with a shared
+    :class:`~repro.pdm.cache.ShardedPlanCache` (or the ``cache`` you
+    pass).  Returns :class:`~repro.serve.ServiceResult` objects in
+    request order either way.
+    """
+    from repro import serve
+
+    if workers > 1:
+        with serve.PermutationService(
+            geometry, workers=workers, cache=cache, cache_maxsize=cache_maxsize
+        ) as service:
+            return service.run(requests)
+    return serve.run_sequential(geometry, requests, cache=cache)
 
 
 def _as_bmmc(perm: Permutation, classes: set[PermClass]) -> BMMCPermutation | None:

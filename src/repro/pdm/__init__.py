@@ -43,6 +43,7 @@ from repro.pdm.cache import (
     CacheInfo,
     CompiledPlan,
     PlanCache,
+    ShardedPlanCache,
     cached_execute,
     compile_plan,
     plan_key,
@@ -83,6 +84,7 @@ __all__ = [
     "CacheInfo",
     "CompiledPlan",
     "PlanCache",
+    "ShardedPlanCache",
     "cached_execute",
     "compile_plan",
     "plan_key",

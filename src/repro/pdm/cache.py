@@ -28,6 +28,7 @@ plan, keyed by step count).
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable
@@ -41,6 +42,7 @@ __all__ = [
     "CacheInfo",
     "CompiledPlan",
     "PlanCache",
+    "ShardedPlanCache",
     "plan_key",
     "compile_plan",
     "cached_execute",
@@ -82,7 +84,10 @@ class CompiledPlan:
     hits can reconstruct their run reports without re-planning.
     """
 
-    __slots__ = ("plan", "optimized", "check", "num_portions", "simple_io", "meta")
+    __slots__ = (
+        "plan", "optimized", "check", "num_portions", "simple_io", "meta",
+        "_opt_lock",
+    )
 
     def __init__(
         self,
@@ -99,19 +104,27 @@ class CompiledPlan:
         self.num_portions = num_portions
         self.simple_io = simple_io
         self.meta = meta
+        self._opt_lock = threading.Lock()
 
     def ensure_optimized(self):
         """Compile (and memoize) the optimized form on first demand.
 
         Laziness keeps strict-only workloads from paying the optimizer's
         slot-map argsorts for an artifact the strict path never runs.
+        Compiled plans are shared between concurrent requests (the
+        service's whole point), so the first-use compile is serialized
+        under a per-entry lock: N racing executions compile once.
         """
         if self.optimized is None:
-            from repro.pdm.optimize import optimize_plan
+            with self._opt_lock:
+                if self.optimized is None:
+                    from repro.pdm.optimize import optimize_plan
 
-            self.optimized = optimize_plan(
-                self.plan, num_portions=self.num_portions, simple_io=self.simple_io
-            )
+                    self.optimized = optimize_plan(
+                        self.plan,
+                        num_portions=self.num_portions,
+                        simple_io=self.simple_io,
+                    )
         return self.optimized
 
     def execute(
@@ -192,6 +205,23 @@ class PlanCache:
             self._entries.popitem(last=False)
             self.evictions += 1
 
+    def get_or_compile(
+        self, key: tuple, compile_fn: Callable[[], CompiledPlan]
+    ) -> tuple[CompiledPlan, bool]:
+        """Serve ``key`` from the cache, compiling-and-storing on a miss.
+
+        Returns ``(compiled, hit)``.  This is the one lookup path the
+        execution wrappers use; :class:`ShardedPlanCache` overrides it
+        with locked, compile-once semantics, so anything routed through
+        here is transparently safe under a shared concurrent cache.
+        """
+        compiled = self.lookup(key)
+        if compiled is not None:
+            return compiled, True
+        compiled = compile_fn()
+        self.store(key, compiled)
+        return compiled, False
+
     def clear(self) -> None:
         self._entries.clear()
 
@@ -218,9 +248,166 @@ class PlanCache:
         )
 
 
+class ShardedPlanCache:
+    """A thread-safe :class:`PlanCache` drop-in for concurrent serving.
+
+    Entries are spread over ``num_shards`` independent LRU shards by
+    ``hash(plan_key)``, each guarded by its own lock, so requests for
+    unrelated keys never contend.  Counters (hits / misses / evictions)
+    are updated under the owning shard's lock and are therefore *exact*
+    under contention -- no lost increments, and
+    ``hits + misses == requests`` reconciles deterministically.
+
+    Cold misses get **compile-once** semantics: the first requester of a
+    key installs an in-flight latch and compiles outside the lock;
+    concurrent requesters of the same key wait on the latch and are
+    served the stored entry as hits.  N racing cold requests therefore
+    cost exactly one compile and count exactly one miss.  If the compile
+    raises, the latch is removed and the error propagates to that
+    requester alone; waiters retry (one becomes the new builder), so a
+    poisoned request never wedges or corrupts the cache.
+    """
+
+    class _Shard:
+        __slots__ = ("lock", "entries", "inflight", "hits", "misses", "evictions")
+
+        def __init__(self) -> None:
+            self.lock = threading.Lock()
+            self.entries: OrderedDict[tuple, CompiledPlan] = OrderedDict()
+            self.inflight: dict[tuple, threading.Event] = {}
+            self.hits = 0
+            self.misses = 0
+            self.evictions = 0
+
+    def __init__(self, maxsize: int = 64, num_shards: int = 8) -> None:
+        num_shards = max(1, int(num_shards))
+        maxsize = int(maxsize)
+        if maxsize < num_shards:
+            # every shard needs capacity for at least one entry, or a
+            # single hot key per shard would thrash
+            num_shards = max(1, maxsize)
+        self.maxsize = maxsize
+        self._shards = [self._Shard() for _ in range(num_shards)]
+        # ceil split so the total capacity is never below maxsize
+        self._per_shard = -(-maxsize // num_shards)
+
+    @property
+    def num_shards(self) -> int:
+        return len(self._shards)
+
+    def _shard_of(self, key: tuple) -> "ShardedPlanCache._Shard":
+        return self._shards[hash(key) % len(self._shards)]
+
+    def _store_locked(self, shard: "_Shard", key: tuple, compiled: CompiledPlan) -> None:
+        shard.entries[key] = compiled
+        shard.entries.move_to_end(key)
+        while len(shard.entries) > self._per_shard:
+            shard.entries.popitem(last=False)
+            shard.evictions += 1
+
+    # ------------------------------------------------- PlanCache-compatible API
+    def lookup(self, key: tuple) -> CompiledPlan | None:
+        """Non-coalescing probe (counts a miss even if a compile is in
+        flight); prefer :meth:`get_or_compile` on serving paths."""
+        shard = self._shard_of(key)
+        with shard.lock:
+            entry = shard.entries.get(key)
+            if entry is None:
+                shard.misses += 1
+                return None
+            shard.entries.move_to_end(key)
+            shard.hits += 1
+            return entry
+
+    def store(self, key: tuple, compiled: CompiledPlan) -> None:
+        shard = self._shard_of(key)
+        with shard.lock:
+            self._store_locked(shard, key, compiled)
+
+    def get_or_compile(
+        self, key: tuple, compile_fn: Callable[[], CompiledPlan]
+    ) -> tuple[CompiledPlan, bool]:
+        """Locked lookup with compile-once cold misses; see class docs."""
+        shard = self._shard_of(key)
+        while True:
+            with shard.lock:
+                entry = shard.entries.get(key)
+                if entry is not None:
+                    shard.entries.move_to_end(key)
+                    shard.hits += 1
+                    return entry, True
+                latch = shard.inflight.get(key)
+                if latch is None:
+                    latch = shard.inflight[key] = threading.Event()
+                    shard.misses += 1
+                    building = True
+                else:
+                    building = False
+            if not building:
+                # Another thread is compiling this key: wait, then rescan.
+                # Either the entry landed (hit) or the builder failed and
+                # removed the latch (this thread retries as the builder).
+                latch.wait()
+                continue
+            try:
+                compiled = compile_fn()
+            except BaseException:
+                with shard.lock:
+                    shard.inflight.pop(key, None)
+                latch.set()
+                raise
+            with shard.lock:
+                self._store_locked(shard, key, compiled)
+                shard.inflight.pop(key, None)
+            latch.set()
+            return compiled, False
+
+    def clear(self) -> None:
+        for shard in self._shards:
+            with shard.lock:
+                shard.entries.clear()
+
+    def __len__(self) -> int:
+        return sum(len(s.entries) for s in self._shards)
+
+    def __contains__(self, key: tuple) -> bool:
+        shard = self._shard_of(key)
+        with shard.lock:
+            return key in shard.entries
+
+    @property
+    def hits(self) -> int:
+        return sum(s.hits for s in self._shards)
+
+    @property
+    def misses(self) -> int:
+        return sum(s.misses for s in self._shards)
+
+    @property
+    def evictions(self) -> int:
+        return sum(s.evictions for s in self._shards)
+
+    def info(self) -> CacheInfo:
+        return CacheInfo(
+            hits=self.hits,
+            misses=self.misses,
+            evictions=self.evictions,
+            size=len(self),
+            maxsize=self.maxsize,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        i = self.info()
+        return (
+            f"ShardedPlanCache(shards={self.num_shards}, size={i.size}/"
+            f"{i.maxsize}, hits={i.hits}, misses={i.misses}, "
+            f"evictions={i.evictions})"
+        )
+
+
 def cached_execute(
     system: ParallelDiskSystem,
-    cache: PlanCache | None,
+    cache: PlanCache | ShardedPlanCache | None,
     key: tuple,
     build: Callable[[], tuple[IOPlan, object]],
     engine: str = "fast",
@@ -230,18 +417,20 @@ def cached_execute(
     """Execute through the cache; compile-and-store on a miss.
 
     ``build`` is the pure planner thunk, returning ``(plan, meta)``.
-    Returns ``(compiled, exec_report, hit)``.
+    Returns ``(compiled, exec_report, hit)``.  All cache traffic goes
+    through ``cache.get_or_compile``, so a :class:`ShardedPlanCache`
+    shared between worker threads gets compile-once cold misses and
+    exact counters with no changes to the algorithm wrappers.
 
     The optimized form is compiled lazily, on the entry's first
     fast-engine execution with ``optimize=True``, then memoized; the
     caller's flag selects which form executes, so one entry serves
     callers on either setting without re-compilation or a key split.
     """
-    compiled = cache.lookup(key) if cache is not None else None
-    hit = compiled is not None
-    if compiled is None:
+
+    def _compile() -> CompiledPlan:
         plan, meta = build()
-        compiled = compile_plan(
+        return compile_plan(
             system.geometry,
             plan,
             num_portions=system.num_portions,
@@ -249,8 +438,11 @@ def cached_execute(
             optimize=False,  # lazy: see CompiledPlan.ensure_optimized
             meta=meta,
         )
-        if cache is not None:
-            cache.store(key, compiled)
+
+    if cache is None:
+        compiled, hit = _compile(), False
+    else:
+        compiled, hit = cache.get_or_compile(key, _compile)
     report = compiled.execute(
         system, engine=engine, stream_records=stream_records, optimize=optimize
     )

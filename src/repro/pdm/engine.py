@@ -133,7 +133,6 @@ class _FusedPass:
         "write_source_max", "write_source_min",
         "is_read", "step_sizes", "reads_before",
         "read_before", "write_before", "read_rec_cum", "write_rec_cum",
-        "mem_net", "mem_peak",  # filled by validation (records, absolute)
         "checked_for",  # (num_portions, simple_io) the checks last ran against
     )
 
@@ -332,17 +331,32 @@ def _check_pass(
     f.checked_for = key
 
 
+@dataclass(frozen=True)
+class _PassMemory:
+    """One pass's memory effect for one execution (records, absolute).
+
+    Kept off the shared :class:`_FusedPass` on purpose: fused metadata
+    is cached on the plan and shared by every execution of a compiled
+    plan -- including concurrent ones on different systems -- so
+    per-execution values must live in per-execution objects.
+    """
+
+    peak: int
+    net: int
+
+
 def _check_memory(
     g: DiskGeometry, capacity: int, in_use_start: int, fused: list[_FusedPass]
-) -> tuple[int, int]:
-    """Simulate the record-count memory across all passes; fill per-pass
-    ``mem_net``/``mem_peak`` and return (overall peak, net delta).
+) -> tuple[int, int, list[_PassMemory]]:
+    """Simulate the record-count memory across all passes; return
+    (overall peak, net delta, per-pass :class:`_PassMemory` list).
 
     Discarding reads allocate-and-release within their own step, so they
     contribute a transient spike to the peak but nothing to the net.
     """
     in_use = in_use_start
     overall_peak = 0
+    per_pass: list[_PassMemory] = []
     for f in fused:
         sizes = f.step_sizes * g.B
         step_discard = np.zeros(f.num_steps, dtype=bool)
@@ -368,11 +382,11 @@ def _check_memory(
             net = int(prefix[-1])
         else:
             pass_peak, net = in_use, 0
-        f.mem_peak = max(pass_peak, in_use)
-        f.mem_net = net
+        mem = _PassMemory(peak=max(pass_peak, in_use), net=net)
+        per_pass.append(mem)
         in_use += net
-        overall_peak = max(overall_peak, f.mem_peak)
-    return overall_peak, in_use - in_use_start
+        overall_peak = max(overall_peak, mem.peak)
+    return overall_peak, in_use - in_use_start, per_pass
 
 
 def _plan_check(fused: list[_FusedPass], peak: int, net: int) -> PlanCheck:
@@ -407,7 +421,7 @@ def audit_plan(
     fused = [_fuse_pass(geometry, p) for p in plan.passes]
     for f in fused:
         _check_pass(geometry, num_portions, simple_io, f)
-    peak, net = _check_memory(geometry, geometry.M, 0, fused)
+    peak, net, _ = _check_memory(geometry, geometry.M, 0, fused)
     return _plan_check(fused, peak, net)
 
 
@@ -426,7 +440,7 @@ def validate_plan(system: ParallelDiskSystem, plan: IOPlan) -> PlanCheck:
     fused = [_fuse_pass(g, p) for p in plan.passes]
     for f in fused:
         _check_pass(g, system.num_portions, system.simple_io, f)
-    peak, net = _check_memory(g, system.memory.capacity, system.memory.in_use, fused)
+    peak, net, _ = _check_memory(g, system.memory.capacity, system.memory.in_use, fused)
     return _plan_check(fused, max(peak, system.memory.peak), net)
 
 
@@ -694,7 +708,7 @@ def _apply_segment(
     return stream
 
 
-def _finish_pass(system: ParallelDiskSystem, f: _FusedPass) -> None:
+def _finish_pass(system: ParallelDiskSystem, f: _FusedPass, mem: _PassMemory) -> None:
     """Bulk-record one fused pass's stats and memory effect."""
     system.stats.record_pass_batch(
         f.label,
@@ -705,10 +719,9 @@ def _finish_pass(system: ParallelDiskSystem, f: _FusedPass) -> None:
         blocks_read=int(f.read_sizes.sum()),
         blocks_written=int(f.write_sizes.sum()),
     )
-    mem = system.memory
-    mem.in_use += f.mem_net
-    if f.mem_peak > mem.peak:
-        mem.peak = f.mem_peak
+    system.memory.in_use += mem.net
+    if mem.peak > system.memory.peak:
+        system.memory.peak = mem.peak
 
 
 def _run_fused_pass(
@@ -716,6 +729,7 @@ def _run_fused_pass(
     f: _FusedPass,
     budget: int | None,
     report: ExecReport,
+    mem: _PassMemory,
     write_keep: np.ndarray | None = None,
 ) -> None:
     """Execute one fused pass, streaming when it exceeds ``budget``, and
@@ -729,7 +743,7 @@ def _run_fused_pass(
         report.host_peak_records = max(report.host_peak_records, stream.size)
     if len(segments) > 1:
         report.streamed_passes += 1
-    _finish_pass(system, f)
+    _finish_pass(system, f, mem)
 
 
 def _execute_fast(
@@ -742,18 +756,18 @@ def _execute_fast(
     fused = [_fuse_pass(g, p) for p in plan.passes]
     for f in fused:
         _check_pass(g, system.num_portions, system.simple_io, f)
-    _check_memory(g, system.memory.capacity, system.memory.in_use, fused)
+    _, _, mems = _check_memory(g, system.memory.capacity, system.memory.in_use, fused)
 
     budget = None if capture else _stream_budget(stream_records)
     report = ExecReport(engine="fast", streams=[] if capture else None)
-    for f in fused:
+    for f, mem in zip(fused, mems):
         if capture:  # whole stream, by construction of budget=None
             stream = _apply_segment(system, f, 0, f.num_steps)
             report.host_peak_records = max(report.host_peak_records, stream.size)
             report.streams.append(stream)
-            _finish_pass(system, f)
+            _finish_pass(system, f, mem)
         else:
-            _run_fused_pass(system, f, budget, report)
+            _run_fused_pass(system, f, budget, report, mem)
     return report
 
 

@@ -345,7 +345,13 @@ class OptimizedPlan:
         g = system.geometry
         for f in self._fused:
             _check_pass(g, system.num_portions, system.simple_io, f)
-        _check_memory(g, system.memory.capacity, system.memory.in_use, self._fused)
+        _, _, mems = _check_memory(
+            g, system.memory.capacity, system.memory.in_use, self._fused
+        )
+        # Groups cover self._fused in plan order; walk the per-execution
+        # memory list alongside them (it is never stored on the shared
+        # fused metadata -- concurrent executions each get their own).
+        mem_of = dict(zip(map(id, self._fused), mems))
         budget = _stream_budget(stream_records)
         report = ExecReport(engine="fast", optimized=True)
         for grp in self.groups:
@@ -355,17 +361,17 @@ class OptimizedPlan:
                     size = self._run_group(system, grp)
                     report.host_peak_records = max(report.host_peak_records, size)
                     for f in grp.members:
-                        _finish_pass(system, f)
+                        _finish_pass(system, f, mem_of[id(f)])
                 else:
                     # The fused chain would buffer one whole read stream;
                     # when that busts the stream budget, the budget wins:
                     # run the members unfused through the streaming path.
                     for f in grp.members:
-                        _run_fused_pass(system, f, budget, report)
+                        _run_fused_pass(system, f, budget, report, mem_of[id(f)])
                 continue
             f = grp.members[0]
             _run_fused_pass(
-                system, f, budget, report, write_keep=grp.write_keep
+                system, f, budget, report, mem_of[id(f)], write_keep=grp.write_keep
             )
         return report
 

@@ -123,6 +123,20 @@ class ParallelDiskSystem:
     def clear(self, portion: int) -> None:
         self._data[portion] = self.empty
 
+    def reset(self) -> None:
+        """Return the system to its just-constructed state.
+
+        Empties every portion in place (no reallocation -- the portion
+        arrays are the dominant cost at large N) and replaces the memory
+        accountant, stats, and pass tables with fresh ones.  Observers
+        stay attached.  This is the serving path's per-request scrub: a
+        pooled worker system must not leak records, counters, or memory
+        residency from the previous request into the next.
+        """
+        self._data.fill(self.empty)
+        self.memory = Memory(self.geometry.M)
+        self.stats = IOStats()
+
     def portion_values(self, portion: int) -> np.ndarray:
         """Copy of a portion's payloads, indexed by address."""
         return self._data[portion].copy()

@@ -1,0 +1,472 @@
+"""Concurrent permutation serving: many requests, one shared plan cache.
+
+The paper's bound is about I/O parallelism *within* one permutation
+(D disks working every operation); this module is about parallelism
+*across* permutations -- the traffic shape of a production relayout
+service, where many independent workloads (FFT bit-reversals,
+transposes, distribution sorts, ad-hoc BMMCs) arrive concurrently and
+most of them repeat.
+
+:class:`PermutationService` executes a stream of
+:class:`PermutationRequest`\\ s on a thread pool.  Each worker owns its
+own :class:`~repro.pdm.system.ParallelDiskSystem` (reset and refilled
+per request, so record state, :class:`~repro.pdm.stats.IOStats`, traces
+and memory accounting are strictly per-request), while all workers
+share one :class:`~repro.pdm.cache.ShardedPlanCache`: per-shard locks
+keyed by the ``plan_key`` hash keep unrelated keys contention-free,
+per-key in-flight latches give cold misses compile-once semantics, and
+the hit/miss/eviction counters stay exact under contention.
+
+Determinism is the contract the whole test suite holds the service to:
+a request's result -- final portion bytes, I/O stats, pass table --
+must be byte-identical to running the same request alone through
+:func:`repro.core.runner.perform_permutation`.  Concurrency may reorder
+*completion*, never *content*.
+
+Quick start::
+
+    from repro import DiskGeometry
+    from repro.serve import PermutationService, synthetic_mix
+
+    g = DiskGeometry(N=2**14, B=2**3, D=2**2, M=2**8)
+    with PermutationService(g, workers=8) as service:
+        results = service.run(synthetic_mix(32))
+    print(service.cache.info())
+
+or from the shell::
+
+    python -m repro serve --workers 8 --count 32 --repeat 2
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, fields
+
+import numpy as np
+
+from repro.core.runner import RunReport, perform_permutation
+from repro.errors import ReproError, ValidationError
+from repro.pdm.cache import PlanCache, ShardedPlanCache
+from repro.pdm.geometry import DiskGeometry
+from repro.pdm.system import ParallelDiskSystem
+from repro.perms import library
+from repro.perms.base import ExplicitPermutation, Permutation
+from repro.perms.bmmc import BMMCPermutation
+
+__all__ = [
+    "PermutationRequest",
+    "ServiceResult",
+    "PermutationService",
+    "make_permutation",
+    "run_sequential",
+    "synthetic_mix",
+    "load_requests",
+    "request_from_dict",
+]
+
+#: Permutation names accepted by :func:`make_permutation` (and the CLI).
+PERM_CHOICES = [
+    "identity",
+    "transpose",
+    "bit-reversal",
+    "vector-reversal",
+    "gray",
+    "gray-inverse",
+    "permuted-gray",
+    "shuffle",
+    "random-bmmc",
+    "random-bpc",
+    "random-mrc",
+    "random-mld",
+    "random",
+]
+
+
+def make_permutation(
+    name: str,
+    geometry: DiskGeometry,
+    seed: int = 0,
+    rank_gamma: int | None = None,
+) -> Permutation:
+    """Resolve a named permutation for ``geometry``.
+
+    Deterministic in ``(name, geometry, seed, rank_gamma)``: the
+    ``random-*`` families draw from ``default_rng(seed)``, so a request
+    is a pure value and re-running it reproduces the same permutation.
+    """
+    from repro.bits.random import (
+        random_bmmc_with_rank_gamma,
+        random_bit_permutation,
+        random_mld_matrix,
+        random_mrc_matrix,
+    )
+
+    g = geometry
+    rng = np.random.default_rng(seed)
+    if name == "identity":
+        from repro.bits.matrix import BitMatrix
+
+        return BMMCPermutation(BitMatrix.identity(g.n))
+    if name == "transpose":
+        return library.matrix_transpose(g.n // 2, g.n - g.n // 2)
+    if name == "bit-reversal":
+        return library.bit_reversal(g.n)
+    if name == "vector-reversal":
+        return library.vector_reversal(g.n)
+    if name == "gray":
+        return library.gray_code(g.n)
+    if name == "gray-inverse":
+        return library.gray_code_inverse(g.n)
+    if name == "permuted-gray":
+        return library.permuted_gray_code(g.n, list(rng.permutation(g.n)))
+    if name == "shuffle":
+        return library.perfect_shuffle(g.n)
+    if name == "random-bmmc":
+        r = min(g.b, g.n - g.b) if rank_gamma is None else rank_gamma
+        return BMMCPermutation(
+            random_bmmc_with_rank_gamma(g.n, g.b, r, rng), int(rng.integers(0, g.N))
+        )
+    if name == "random-bpc":
+        return BMMCPermutation(random_bit_permutation(g.n, rng), validate=False)
+    if name == "random-mrc":
+        return BMMCPermutation(random_mrc_matrix(g.n, g.m, rng))
+    if name == "random-mld":
+        return BMMCPermutation(random_mld_matrix(g.n, g.b, g.m, rng))
+    if name == "random":
+        return ExplicitPermutation(rng.permutation(g.N))
+    raise ReproError(f"unknown permutation {name!r}")
+
+
+@dataclass(frozen=True)
+class PermutationRequest:
+    """One unit of service work, as a pure value.
+
+    ``perm`` is a permutation name (see :data:`PERM_CHOICES`, resolved
+    deterministically from ``seed``/``rank_gamma``) or a ready
+    :class:`~repro.perms.base.Permutation` object.  ``seed`` doubles as
+    the distribution sort's placement-RNG seed, so two requests that
+    differ only in seed are distinct workloads (and distinct cache
+    keys).  ``capture_portion`` asks the worker for a SHA-256 digest of
+    the final portion's bytes -- the byte-identity handle the
+    differential suites compare against sequential reference runs.
+    """
+
+    perm: str | Permutation = "random-bmmc"
+    method: str = "auto"
+    seed: int = 0
+    rank_gamma: int | None = None
+    engine: str = "fast"
+    optimize: bool = True
+    verify: bool = True
+    capture_portion: bool = False
+    stream_records: int | None = None
+    source_portion: int = 0
+    target_portion: int = 1
+    geometry: DiskGeometry | None = None
+
+    def describe(self) -> str:
+        perm = self.perm if isinstance(self.perm, str) else type(self.perm).__name__
+        return f"{perm}/{self.method} seed={self.seed} engine={self.engine}"
+
+
+@dataclass
+class ServiceResult:
+    """What the service hands back for one request.
+
+    Exactly one of ``report``/``error`` is set.  ``digest`` is the
+    SHA-256 of the final portion (requests with ``capture_portion``),
+    ``worker`` the executing thread's name, ``elapsed`` wall seconds.
+    """
+
+    index: int
+    request: PermutationRequest
+    report: RunReport | None = None
+    error: BaseException | None = None
+    digest: str | None = None
+    worker: str = ""
+    elapsed: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def summary(self) -> str:
+        if not self.ok:
+            return (
+                f"[{self.index}] {self.request.describe()}: "
+                f"FAILED {type(self.error).__name__}: {self.error}"
+            )
+        r = self.report
+        return (
+            f"[{self.index}] {self.request.describe()}: method={r.method} "
+            f"passes={r.passes} I/Os={r.io.parallel_ios} verified={r.verified} "
+            f"({self.elapsed * 1e3:.1f} ms on {self.worker})"
+        )
+
+
+def _execute_request(
+    system: ParallelDiskSystem,
+    request: PermutationRequest,
+    cache,
+) -> tuple[RunReport, str | None]:
+    """Run one request on a clean system; shared by workers and the
+    sequential reference.  The system must already be reset."""
+    system.fill_identity(request.source_portion)
+    perm = request.perm
+    if isinstance(perm, str):
+        perm = make_permutation(
+            perm, system.geometry, seed=request.seed, rank_gamma=request.rank_gamma
+        )
+    report = perform_permutation(
+        system,
+        perm,
+        method=request.method,
+        source_portion=request.source_portion,
+        target_portion=request.target_portion,
+        verify=request.verify,
+        engine=request.engine,
+        optimize=request.optimize,
+        cache=cache,
+        seed=request.seed,
+        stream_records=request.stream_records,
+    )
+    digest = None
+    if request.capture_portion:
+        digest = hashlib.sha256(
+            system.portion_values(report.final_portion).tobytes()
+        ).hexdigest()
+    return report, digest
+
+
+class PermutationService:
+    """A worker pool serving permutation requests off a shared plan cache.
+
+    ``workers`` threads each lazily build (then reuse) a private
+    :class:`~repro.pdm.system.ParallelDiskSystem` per geometry; the
+    system is :meth:`~repro.pdm.system.ParallelDiskSystem.reset` before
+    every request, so stats, traces, memory accounting and record state
+    never leak between requests.  ``cache=None`` (the default) builds a
+    :class:`~repro.pdm.cache.ShardedPlanCache`; pass ``cache=False`` to
+    serve uncached, or a *thread-safe* cache object implementing
+    ``get_or_compile`` (a plain single-threaded
+    :class:`~repro.pdm.cache.PlanCache` is rejected when ``workers >
+    1`` -- its unlocked LRU would be corrupted by the pool).
+
+    Request failures are isolated: the exception is captured on that
+    request's :class:`ServiceResult` (``result.error``), the worker and
+    its pooled system survive, and the cache is left uncorrupted --
+    a subsequent identical-key request simply recompiles.
+    """
+
+    def __init__(
+        self,
+        geometry: DiskGeometry,
+        workers: int = 4,
+        cache=None,
+        cache_maxsize: int = 64,
+        num_shards: int = 8,
+    ) -> None:
+        self.geometry = geometry
+        self.workers = max(1, int(workers))
+        if cache is None:
+            cache = ShardedPlanCache(maxsize=cache_maxsize, num_shards=num_shards)
+        elif cache is False:
+            cache = None
+        if self.workers > 1 and type(cache) is PlanCache:
+            raise ValidationError(
+                "PlanCache is not thread-safe; a multi-worker service needs "
+                "a ShardedPlanCache (or workers=1)"
+            )
+        self.cache = cache
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="perm-worker"
+        )
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self._submitted = 0
+        self._closed = False
+
+    # ------------------------------------------------------------ worker side
+    def _worker_system(self, geometry: DiskGeometry) -> ParallelDiskSystem:
+        systems = getattr(self._local, "systems", None)
+        if systems is None:
+            systems = self._local.systems = {}
+        key = (geometry.N, geometry.B, geometry.D, geometry.M)
+        system = systems.get(key)
+        if system is None:
+            system = systems[key] = ParallelDiskSystem(geometry)
+        else:
+            system.reset()
+        return system
+
+    def _run_one(self, index: int, request: PermutationRequest) -> ServiceResult:
+        result = ServiceResult(
+            index=index, request=request, worker=threading.current_thread().name
+        )
+        t0 = time.perf_counter()
+        try:
+            geometry = request.geometry or self.geometry
+            system = self._worker_system(geometry)
+            result.report, result.digest = _execute_request(
+                system, request, self.cache
+            )
+        except Exception as exc:  # isolate: the pool and cache must survive
+            result.error = exc
+        result.elapsed = time.perf_counter() - t0
+        return result
+
+    # ------------------------------------------------------------ client side
+    def submit(self, request: PermutationRequest) -> Future:
+        """Enqueue one request; the future resolves to a
+        :class:`ServiceResult` (failures are captured, never raised)."""
+        if self._closed:
+            raise ValidationError("service is closed")
+        with self._lock:
+            index = self._submitted
+            self._submitted += 1
+        return self._pool.submit(self._run_one, index, request)
+
+    def run(self, requests) -> list[ServiceResult]:
+        """Submit a batch and gather results in request order."""
+        futures = [self.submit(r) for r in requests]
+        return [f.result() for f in futures]
+
+    def map_unordered(self, requests):
+        """Yield results as they complete (completion order)."""
+        from concurrent.futures import as_completed
+
+        futures = [self.submit(r) for r in requests]
+        for f in as_completed(futures):
+            yield f.result()
+
+    def cache_info(self):
+        return self.cache.info() if self.cache is not None else None
+
+    def close(self, wait: bool = True) -> None:
+        self._closed = True
+        self._pool.shutdown(wait=wait)
+
+    def __enter__(self) -> "PermutationService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PermutationService(workers={self.workers}, "
+            f"submitted={self._submitted}, cache={self.cache!r})"
+        )
+
+
+def run_sequential(
+    geometry: DiskGeometry, requests, cache=None
+) -> list[ServiceResult]:
+    """The single-threaded reference semantics for a request batch.
+
+    One fresh system per request, strictly in submission order, no pool,
+    no thread-local state -- this is what every concurrency suite
+    compares :class:`PermutationService` output against.  ``cache`` may
+    be ``None`` (each request plans from scratch) or any plan cache.
+    """
+    results = []
+    for index, request in enumerate(requests):
+        result = ServiceResult(index=index, request=request, worker="sequential")
+        t0 = time.perf_counter()
+        try:
+            system = ParallelDiskSystem(request.geometry or geometry)
+            result.report, result.digest = _execute_request(system, request, cache)
+        except Exception as exc:
+            result.error = exc
+        result.elapsed = time.perf_counter() - t0
+        results.append(result)
+    return results
+
+
+# --------------------------------------------------------------------------
+# workload construction
+# --------------------------------------------------------------------------
+
+#: The synthetic mixed workload: one template per algorithm family the
+#: service multiplexes (MLD, MRC, BMMC multi-pass, auto-classified
+#: one-pass, randomized distribution sort).
+_MIX_TEMPLATES = [
+    ("random-mld", "mld"),
+    ("random-mrc", "mrc"),
+    ("random-bmmc", "bmmc"),
+    ("bit-reversal", "auto"),
+    ("transpose", "distribution"),
+    ("gray", "auto"),
+]
+
+
+def synthetic_mix(
+    count: int,
+    seed: int = 0,
+    distinct_seeds: int = 2,
+    engine: str = "fast",
+    optimize: bool = True,
+    verify: bool = True,
+    capture_portion: bool = False,
+) -> list[PermutationRequest]:
+    """A deterministic mixed MLD/MRC/BMMC/distribution workload.
+
+    Cycles the family templates and rotates ``distinct_seeds`` seeds, so
+    a long mix repeatedly re-requests a bounded set of plan keys -- the
+    warm-cache serving shape.  Pure function of its arguments: the same
+    call always produces the same request list.
+    """
+    requests = []
+    for i in range(count):
+        perm, method = _MIX_TEMPLATES[i % len(_MIX_TEMPLATES)]
+        requests.append(
+            PermutationRequest(
+                perm=perm,
+                method=method,
+                seed=seed + (i // len(_MIX_TEMPLATES)) % max(1, distinct_seeds),
+                engine=engine,
+                optimize=optimize,
+                verify=verify,
+                capture_portion=capture_portion,
+            )
+        )
+    return requests
+
+
+_REQUEST_FIELDS = {f.name for f in fields(PermutationRequest)}
+
+
+def request_from_dict(payload: dict) -> PermutationRequest:
+    """Build a request from a JSON-shaped dict (the CLI's file format).
+
+    ``geometry`` may be a ``{"N":..,"B":..,"D":..,"M":..}`` mapping.
+    Unknown keys raise -- a typo'd knob must not silently run with
+    defaults.
+    """
+    unknown = set(payload) - _REQUEST_FIELDS
+    if unknown:
+        raise ValidationError(f"unknown request fields: {sorted(unknown)}")
+    kwargs = dict(payload)
+    geometry = kwargs.get("geometry")
+    if isinstance(geometry, dict):
+        kwargs["geometry"] = DiskGeometry(**geometry)
+    return PermutationRequest(**kwargs)
+
+
+def load_requests(path) -> list[PermutationRequest]:
+    """Read requests from a file: JSON lines, or one JSON array."""
+    with open(path) as handle:
+        text = handle.read()
+    stripped = text.lstrip()
+    if stripped.startswith("["):
+        return [request_from_dict(d) for d in json.loads(text)]
+    return [
+        request_from_dict(json.loads(line))
+        for line in text.splitlines()
+        if line.strip()
+    ]

@@ -96,6 +96,68 @@ class TestRun:
         assert "rank_gamma: 0.00" in out
 
 
+class TestServe:
+    GEO = ["--N", "1024", "--B", "8", "--D", "4", "--M", "128"]
+
+    def test_synthetic_mix_concurrent(self, capsys):
+        code = main(
+            ["serve", "--workers", "4", "--count", "12", "--repeat", "2", *self.GEO]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "served 24 requests" in out
+        assert "plan cache:" in out and "hits" in out
+        assert "0 failed, 0 unverified" in out
+
+    def test_sequential_reference_mode(self, capsys):
+        code = main(["serve", "--workers", "1", "--count", "6", *self.GEO])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "on 1 worker(s)" in out
+        assert "plan cache:" not in out  # sequential mode serves uncached
+
+    def test_requests_file(self, capsys, tmp_path):
+        path = tmp_path / "reqs.jsonl"
+        path.write_text(
+            '{"perm": "gray"}\n{"perm": "bit-reversal", "method": "bmmc"}\n'
+        )
+        code = main(
+            ["serve", "--workers", "2", "--requests", str(path), "--verbose", *self.GEO]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "served 2 requests" in out
+        assert "gray" in out and "bit-reversal" in out
+
+    def test_failing_request_sets_exit_code(self, capsys, tmp_path):
+        path = tmp_path / "reqs.jsonl"
+        # distribution cannot fit this geometry's memory budget
+        path.write_text('{"perm": "transpose", "method": "distribution"}\n')
+        code = main(
+            ["serve", "--workers", "2", "--requests", str(path),
+             "--N", "2048", "--B", "8", "--D", "8", "--M", "64"]
+        )
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "1 failed" in captured.out
+        assert "FAILED" in captured.err
+
+    def test_missing_or_malformed_request_file_is_clean_error(self, capsys, tmp_path):
+        assert main(["serve", "--requests", str(tmp_path / "nope.jsonl"), *self.GEO]) == 2
+        assert "cannot load" in capsys.readouterr().err
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("{not json\n")
+        assert main(["serve", "--requests", str(bad), *self.GEO]) == 2
+        assert "cannot load" in capsys.readouterr().err
+
+    def test_empty_request_file_is_clean_error(self, capsys, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        code = main(["serve", "--requests", str(path), *self.GEO])
+        assert code == 2
+        assert "no requests" in capsys.readouterr().err
+
+
 class TestDetect:
     def test_positive(self, capsys):
         assert main(["detect", "--perm", "permuted-gray"]) == 0
