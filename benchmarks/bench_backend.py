@@ -1,0 +1,148 @@
+"""BACKEND: parallel sharded kernels vs the fused-numpy fast engine.
+
+PR 6's bargain: one compiled plan executes under interchangeable kernel
+backends -- ``numpy`` (the fused reference) or ``parallel`` (the same
+gathers/scatters sharded across GIL-releasing worker threads).  This
+bench measures the seam across growing ``N`` and asserts it is free
+and, on multi-core runners, profitable:
+
+* both backends report identical :class:`StatsSnapshot` counters, pass
+  tables, and byte-identical portions off the *same* plan,
+* the report records which backend ran, and
+* at ``N = 2^20`` the parallel backend is at least
+  ``BENCH_BACKEND_SPEEDUP_FLOOR``x (default 1.5x) faster than the
+  numpy fast engine -- asserted only when the runner actually has
+  multiple cores (``os.cpu_count() >= 2``); a single-core box falls
+  below the crossover by design (the heuristic keeps everything
+  inline), so there the number is recorded but not gated.
+
+Results: ``benchmarks/results/BENCH_backend.md`` plus machine-readable
+``BENCH_backend.json`` for CI trend tracking (always written, with the
+runner's core count, so a floor skip is visible in the artifact).
+"""
+
+import json
+import os
+
+import numpy as np
+
+from repro.bits.random import random_mld_matrix
+from repro.core.bmmc_algorithm import plan_bmmc_io, plan_bmmc_passes
+from repro.pdm.engine import execute_plan, get_backend
+from repro.pdm.geometry import DiskGeometry
+from repro.pdm.system import ParallelDiskSystem
+from repro.perms.bmmc import BMMCPermutation
+from repro.perms.library import bit_reversal
+
+from benchmarks.bench_engine import _time
+from benchmarks.conftest import RESULTS_DIR, SEED, write_result
+from repro.core.mld_algorithm import plan_mld_pass
+
+#: Sweep geometries: the default bench shape, growing N past the
+#: parallel backend's production crossover (min 2^16 records).
+SWEEP_N = [18, 20]
+SHAPE = dict(B=2**4, D=2**3, M=2**11)
+
+#: Acceptance threshold at N = 2^20, multi-core runners only.
+SPEEDUP_FLOOR = float(os.environ.get("BENCH_BACKEND_SPEEDUP_FLOOR", "1.5"))
+SPEEDUP_AT_N = 20
+
+
+def _fresh(g):
+    s = ParallelDiskSystem(g)
+    s.fill_identity(0)
+    return s
+
+
+def _run(g, plan, backend):
+    s = _fresh(g)
+    report = execute_plan(s, plan, engine="fast", backend=backend)
+    return s, report
+
+
+def test_backend_parallel_vs_numpy(benchmark):
+    parallel = get_backend("parallel")
+    cores = os.cpu_count() or 1
+    gate = cores >= 2
+
+    rows = []
+    records = []
+
+    def sweep():
+        for n in SWEEP_N:
+            g = DiskGeometry(N=2**n, **SHAPE)
+            rng = np.random.default_rng(SEED + n)
+
+            mld = BMMCPermutation(random_mld_matrix(g.n, g.b, g.m, rng))
+            rev = bit_reversal(g.n)
+            steps = plan_bmmc_passes(rev, g)
+            bmmc_plan, final = plan_bmmc_io(g, steps)
+
+            for name, plan, perm, out in (
+                ("mld-1pass", plan_mld_pass(g, mld), mld, 1),
+                (f"bmmc-{len(steps)}pass", bmmc_plan, rev, final),
+            ):
+                ref, _ = _run(g, plan, "numpy")  # warm fuse cache
+                par, report = _run(g, plan, parallel)
+                assert report.backend == "parallel"
+                assert ref.stats.snapshot() == par.stats.snapshot()
+                assert ref.stats.passes == par.stats.passes
+                assert (ref.portion_values(out) == par.portion_values(out)).all()
+                assert par.verify_permutation(perm, np.arange(g.N), out)
+
+                t_numpy = _time(lambda p=plan: _run(g, p, "numpy"))
+                t_par = _time(lambda p=plan: _run(g, p, parallel))
+                speedup = t_numpy / t_par
+                rows.append(
+                    [
+                        f"2^{n}",
+                        name,
+                        f"{t_numpy * 1e3:.1f}",
+                        f"{t_par * 1e3:.1f}",
+                        f"{speedup:.2f}x",
+                    ]
+                )
+                records.append(
+                    dict(
+                        N=2**n,
+                        plan=name,
+                        passes=plan.num_passes,
+                        numpy_s=t_numpy,
+                        parallel_s=t_par,
+                        speedup=speedup,
+                    )
+                )
+                if n == SPEEDUP_AT_N and gate:
+                    assert speedup >= SPEEDUP_FLOOR, (
+                        f"parallel backend only {speedup:.2f}x faster than "
+                        f"the numpy fast engine at N=2^{n} ({name}) on "
+                        f"{cores} cores; need {SPEEDUP_FLOOR}x"
+                    )
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_backend.json").write_text(
+        json.dumps(
+            dict(
+                shape=SHAPE,
+                seed=SEED,
+                cpu_count=cores,
+                workers=parallel.workers,
+                min_records=parallel.min_records,
+                chunk_records=parallel.chunk_records,
+                speedup_floor=SPEEDUP_FLOOR,
+                floor_asserted=gate,
+                rows=records,
+            ),
+            indent=2,
+        )
+        + "\n"
+    )
+    write_result(
+        "BENCH_backend",
+        f"parallel vs numpy fast execution "
+        f"({cores} cores, {parallel.workers} workers; median ms)",
+        ["N", "plan", "numpy", "parallel", "speedup"],
+        rows,
+    )

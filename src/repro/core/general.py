@@ -218,6 +218,7 @@ def perform_general_sort(
     engine: str = "strict",
     optimize: bool = False,
     stream_records=None,
+    backend=None,
 ) -> GeneralSortResult:
     """Permute by external merge sort on target addresses.
 
@@ -239,7 +240,7 @@ def perform_general_sort(
     before = system.stats.parallel_ios
     execute_plan(
         system, plan.io_plan, engine=engine, optimize=optimize,
-        stream_records=stream_records,
+        stream_records=stream_records, backend=backend,
     )
     return GeneralSortResult(
         passes=plan.passes,

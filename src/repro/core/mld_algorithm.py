@@ -99,6 +99,7 @@ def perform_mld_pass(
     optimize: bool = False,
     cache: PlanCache | None = None,
     stream_records=None,
+    backend=None,
 ) -> None:
     """Perform an MLD permutation in one pass (striped reads, independent writes).
 
@@ -123,6 +124,7 @@ def perform_mld_pass(
                 None,
             ),
             engine=engine, optimize=optimize, stream_records=stream_records,
+            backend=backend,
         )
         return
     plan = plan_mld_pass(
@@ -135,5 +137,5 @@ def perform_mld_pass(
     )
     execute_plan(
         system, plan, engine=engine, optimize=optimize,
-        stream_records=stream_records,
+        stream_records=stream_records, backend=backend,
     )

@@ -133,6 +133,7 @@ class CompiledPlan:
         engine: str = "fast",
         stream_records=None,
         optimize: bool = True,
+        backend=None,
     ) -> ExecReport:
         """Run the compiled plan.
 
@@ -140,12 +141,16 @@ class CompiledPlan:
         first fast-engine use); a compiled plan is shareable between
         callers that do and do not want the rewrites, so the choice is
         made here, per execution, not baked into the cache entry.
+        ``backend`` likewise: compiled plans are backend-agnostic (the
+        kernel backend never appears in :func:`plan_key`), so one entry
+        serves every backend.
         """
         target = (
             self.ensure_optimized() if (optimize and engine == "fast") else self.plan
         )
         return execute_plan(
-            system, target, engine=engine, stream_records=stream_records
+            system, target, engine=engine, stream_records=stream_records,
+            backend=backend,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -413,6 +418,7 @@ def cached_execute(
     engine: str = "fast",
     optimize: bool = True,
     stream_records=None,
+    backend=None,
 ) -> tuple[CompiledPlan, ExecReport, bool]:
     """Execute through the cache; compile-and-store on a miss.
 
@@ -444,6 +450,7 @@ def cached_execute(
     else:
         compiled, hit = cache.get_or_compile(key, _compile)
     report = compiled.execute(
-        system, engine=engine, stream_records=stream_records, optimize=optimize
+        system, engine=engine, stream_records=stream_records, optimize=optimize,
+        backend=backend,
     )
     return compiled, report, hit

@@ -161,6 +161,7 @@ class PermutationRequest:
     seed: int = 0
     rank_gamma: int | None = None
     engine: str = "fast"
+    backend: str | None = None
     optimize: bool = True
     verify: bool = True
     capture_portion: bool = False
@@ -171,7 +172,8 @@ class PermutationRequest:
 
     def describe(self) -> str:
         perm = self.perm if isinstance(self.perm, str) else type(self.perm).__name__
-        return f"{perm}/{self.method} seed={self.seed} engine={self.engine}"
+        backend = f" backend={self.backend}" if self.backend else ""
+        return f"{perm}/{self.method} seed={self.seed} engine={self.engine}{backend}"
 
 
 @dataclass
@@ -213,9 +215,14 @@ def _execute_request(
     system: ParallelDiskSystem,
     request: PermutationRequest,
     cache,
+    backend=None,
 ) -> tuple[RunReport, str | None]:
     """Run one request on a clean system; shared by workers and the
-    sequential reference.  The system must already be reset."""
+    sequential reference.  The system must already be reset.
+
+    ``backend`` is the caller's default kernel backend (the service's
+    per-worker choice); a request-level ``backend`` overrides it.
+    """
     system.fill_identity(request.source_portion)
     perm = request.perm
     if isinstance(perm, str):
@@ -234,6 +241,7 @@ def _execute_request(
         cache=cache,
         seed=request.seed,
         stream_records=request.stream_records,
+        backend=request.backend if request.backend is not None else backend,
     )
     digest = None
     if request.capture_portion:
@@ -270,9 +278,11 @@ class PermutationService:
         cache=None,
         cache_maxsize: int = 64,
         num_shards: int = 8,
+        backend=None,
     ) -> None:
         self.geometry = geometry
         self.workers = max(1, int(workers))
+        self.backend = backend  # worker default; request.backend overrides
         if cache is None:
             cache = ShardedPlanCache(maxsize=cache_maxsize, num_shards=num_shards)
         elif cache is False:
@@ -313,7 +323,7 @@ class PermutationService:
             geometry = request.geometry or self.geometry
             system = self._worker_system(geometry)
             result.report, result.digest = _execute_request(
-                system, request, self.cache
+                system, request, self.cache, backend=self.backend
             )
         except Exception as exc:  # isolate: the pool and cache must survive
             result.error = exc
@@ -365,7 +375,7 @@ class PermutationService:
 
 
 def run_sequential(
-    geometry: DiskGeometry, requests, cache=None
+    geometry: DiskGeometry, requests, cache=None, backend=None
 ) -> list[ServiceResult]:
     """The single-threaded reference semantics for a request batch.
 
@@ -380,7 +390,9 @@ def run_sequential(
         t0 = time.perf_counter()
         try:
             system = ParallelDiskSystem(request.geometry or geometry)
-            result.report, result.digest = _execute_request(system, request, cache)
+            result.report, result.digest = _execute_request(
+                system, request, cache, backend=backend
+            )
         except Exception as exc:
             result.error = exc
         result.elapsed = time.perf_counter() - t0
@@ -410,6 +422,7 @@ def synthetic_mix(
     seed: int = 0,
     distinct_seeds: int = 2,
     engine: str = "fast",
+    backend: str | None = None,
     optimize: bool = True,
     verify: bool = True,
     capture_portion: bool = False,
@@ -430,6 +443,7 @@ def synthetic_mix(
                 method=method,
                 seed=seed + (i // len(_MIX_TEMPLATES)) % max(1, distinct_seeds),
                 engine=engine,
+                backend=backend,
                 optimize=optimize,
                 verify=verify,
                 capture_portion=capture_portion,
