@@ -18,6 +18,13 @@ Correctness is asserted alongside throughput: every served result's
 final-portion digest must equal the sequential runner's for the same
 request -- concurrency may not buy speed with wrong bytes.
 
+An overload phase follows the throughput phase: the same mix is fired
+at a deliberately undersized bounded queue with per-request deadlines
+and a retry policy under injected pass latency, and the robustness
+counters (shed, deadline_exceeded, retries) are recorded into
+``BENCH_serve.json`` so CI trends how the admission/deadline/retry
+machinery behaves release over release.
+
 Results: ``benchmarks/results/BENCH_serve.md`` + ``BENCH_serve.json``
 (uploaded by CI's concurrency job).
 """
@@ -27,9 +34,15 @@ import os
 import time
 
 from repro.core.runner import perform_requests
+from repro.errors import DeadlineExceeded, InjectedFault, RequestRejected
 from repro.pdm.cache import ShardedPlanCache
 from repro.pdm.geometry import DiskGeometry
-from repro.serve import PermutationService, synthetic_mix
+from repro.serve import (
+    FaultPlan,
+    PermutationService,
+    RetryPolicy,
+    synthetic_mix,
+)
 
 from benchmarks.conftest import RESULTS_DIR, SEED, write_result
 
@@ -49,6 +62,53 @@ BACKEND = os.environ.get("BENCH_SERVE_BACKEND") or None
 #: Warm-cache 8-worker throughput must beat the sequential runner by
 #: at least this factor (the acceptance floor; keep >= 3).
 SPEEDUP_FLOOR = float(os.environ.get("BENCH_SERVE_SPEEDUP_FLOOR", "3.0"))
+
+#: Queue capacity for the overload phase -- deliberately far below the
+#: mix size so admission control has to shed.
+OVERLOAD_CAPACITY = int(os.environ.get("BENCH_SERVE_OVERLOAD_CAPACITY", "8"))
+
+
+def _overload_phase():
+    """Saturate an undersized queue under injected latency + faults.
+
+    Returns ``(stats, elapsed, requests)``.  Asserts only the
+    robustness invariants (counter reconciliation, typed failures);
+    the counters themselves are recorded, not floored -- they are a
+    trend signal, not an acceptance gate.
+    """
+    from dataclasses import replace
+
+    requests = synthetic_mix(MIX_COUNT, distinct_seeds=2, verify=False)
+    # the first request carries a timeout smaller than one injected
+    # pass sleep: admitted for sure (empty queue), expires for sure
+    requests[0] = replace(requests[0], timeout=0.001)
+    faults = FaultPlan(
+        seed=SEED, kernel_failures=0.15, slow_passes=1.0, slow_seconds=0.002
+    )
+    with PermutationService(
+        GEOMETRY,
+        workers=2,
+        queue_capacity=OVERLOAD_CAPACITY,
+        queue_policy="reject",
+        faults=faults,
+        retry=RetryPolicy(attempts=3, base=0.0005, seed=SEED),
+    ) as service:
+        t0 = time.perf_counter()
+        results = service.run(requests)
+        elapsed = time.perf_counter() - t0
+        stats = service.stats()
+
+    assert stats.admitted + stats.shed == stats.submitted == len(requests)
+    assert stats.completed == stats.admitted
+    assert stats.shed > 0, "overload phase failed to saturate the queue"
+    assert stats.deadline_exceeded >= 1
+    assert stats.retries == sum(max(0, r.attempts - 1) for r in results)
+    for r in results:
+        if not r.ok:
+            assert isinstance(
+                r.error, (RequestRejected, DeadlineExceeded, InjectedFault)
+            ), f"unexpected failure class {type(r.error).__name__}"
+    return stats, elapsed, results
 
 
 def test_serve_warm_cache_throughput(benchmark):
@@ -89,6 +149,9 @@ def test_serve_warm_cache_throughput(benchmark):
             "diverged from the sequential runner"
         )
 
+    # -- overload: bounded queue + deadlines + retries under faults
+    overload_stats, overload_elapsed, _ = _overload_phase()
+
     seq_tput = len(requests) / seq_elapsed
     cold_tput = len(requests) / cold_elapsed
     warm_tput = len(requests) / warm_elapsed
@@ -101,6 +164,9 @@ def test_serve_warm_cache_throughput(benchmark):
          f"{cold_elapsed:.3f}", f"{cold_tput:.1f}"],
         [f"service warm ({WORKERS} workers, shared cache)", len(requests),
          f"{warm_elapsed:.3f}", f"{warm_tput:.1f}"],
+        [f"overload (2 workers, capacity {OVERLOAD_CAPACITY}, chaos)",
+         len(requests), f"{overload_elapsed:.3f}",
+         f"{len(requests) / overload_elapsed:.1f}"],
     ]
     text = write_result(
         "BENCH_serve",
@@ -113,6 +179,12 @@ def test_serve_warm_cache_throughput(benchmark):
     print(
         f"\nwarm speedup {speedup:.1f}x (floor {SPEEDUP_FLOOR}x); cache: "
         f"{info.hits} hits / {info.misses} misses / {info.evictions} evictions"
+    )
+    print(
+        f"overload: {overload_stats.shed} shed / "
+        f"{overload_stats.deadline_exceeded} deadline-exceeded / "
+        f"{overload_stats.retries} retries over "
+        f"{overload_stats.submitted} submitted"
     )
     (RESULTS_DIR / "BENCH_serve.json").write_text(
         json.dumps(
@@ -134,6 +206,16 @@ def test_serve_warm_cache_throughput(benchmark):
                     misses=info.misses,
                     evictions=info.evictions,
                     size=info.size,
+                ),
+                overload=dict(
+                    queue_capacity=OVERLOAD_CAPACITY,
+                    elapsed_s=overload_elapsed,
+                    submitted=overload_stats.submitted,
+                    admitted=overload_stats.admitted,
+                    shed=overload_stats.shed,
+                    deadline_exceeded=overload_stats.deadline_exceeded,
+                    retries=overload_stats.retries,
+                    failed=overload_stats.failed,
                 ),
             ),
             indent=2,

@@ -161,10 +161,22 @@ def cmd_run(args) -> int:
 
 
 def cmd_serve(args) -> int:
+    import json
+    import os
     import time
+    from dataclasses import asdict
 
+    from repro.errors import (
+        CircuitOpenError,
+        DeadlineExceeded,
+        InjectedFault,
+        RequestCancelled,
+        RequestRejected,
+    )
     from repro.serve import (
         PermutationService,
+        RetryPolicy,
+        chaos_plan,
         load_requests,
         run_sequential,
         synthetic_mix,
@@ -191,8 +203,27 @@ def cmd_serve(args) -> int:
         print("no requests to serve", file=sys.stderr)
         return 2
 
+    faults = None
+    if args.chaos:
+        chaos_seed = args.chaos_seed
+        if chaos_seed is None:
+            chaos_seed = int(os.environ.get("REPRO_CHAOS_SEED", "0"))
+        faults = chaos_plan(seed=chaos_seed, intensity=args.chaos_intensity)
+        print(
+            f"chaos: seed={chaos_seed} intensity={args.chaos_intensity} "
+            "(deterministic fault injection active)"
+        )
+    retry = (
+        RetryPolicy(attempts=args.retries + 1, seed=args.seed)
+        if args.retries > 0
+        else None
+    )
+
     t0 = time.perf_counter()
-    if args.workers <= 1:
+    stats = None
+    if args.workers <= 1 and not (
+        faults or retry or args.queue_capacity or args.timeout
+    ):
         results = run_sequential(g, requests, backend=args.backend)
         cache_info = None
     else:
@@ -202,32 +233,71 @@ def cmd_serve(args) -> int:
             cache_maxsize=args.cache_size,
             num_shards=args.shards,
             backend=args.backend,
+            queue_capacity=args.queue_capacity,
+            queue_policy=args.queue_policy,
+            default_timeout=args.timeout,
+            retry=retry,
+            faults=faults,
         ) as service:
             results = service.run(requests)
             cache_info = service.cache_info()
+            stats = service.stats()
     elapsed = time.perf_counter() - t0
 
+    # Under chaos (or explicit overload/deadline knobs) these failures
+    # are the point of the exercise, not a defect: they don't gate the
+    # exit code, everything else still does.
+    expected = (
+        InjectedFault, RequestRejected, DeadlineExceeded,
+        RequestCancelled, CircuitOpenError,
+    )
+    tolerated = bool(args.chaos or args.queue_capacity or args.timeout)
     failed = [r for r in results if not r.ok]
+    gating = [
+        r for r in failed
+        if not (tolerated and isinstance(r.error, expected))
+    ]
     unverified = [r for r in results if r.ok and not r.report.verified]
     shown = results if args.verbose else results[: min(len(results), 8)]
     for result in shown:
         print(result.summary())
     if len(shown) < len(results):
         print(f"... ({len(results) - len(shown)} more; --verbose shows all)")
+    failure_note = (
+        f"{len(failed)} failed ({len(gating)} unexpectedly)"
+        if tolerated
+        else f"{len(failed)} failed"
+    )
     print(
         f"\nserved {len(results)} requests in {elapsed:.3f}s "
         f"({len(results) / elapsed:.1f} req/s) on {args.workers} worker(s); "
-        f"{len(failed)} failed, {len(unverified)} unverified"
+        f"{failure_note}, {len(unverified)} unverified"
     )
+    if stats is not None:
+        print(
+            f"service: {stats.submitted} submitted = {stats.admitted} admitted "
+            f"+ {stats.shed} shed; {stats.retries} retries, "
+            f"{stats.deadline_exceeded} deadline-exceeded, "
+            f"{stats.cancelled} cancelled"
+        )
     if cache_info is not None:
         print(
             f"plan cache: {cache_info.hits} hits / {cache_info.misses} misses "
             f"/ {cache_info.evictions} evictions "
             f"({cache_info.size}/{cache_info.maxsize} compiled plans held)"
         )
-    for result in failed:
+    if args.stats_json and stats is not None:
+        payload = asdict(stats)
+        payload["elapsed_seconds"] = elapsed
+        payload["requests"] = len(results)
+        payload["failed_results"] = len(failed)
+        payload["unexpected_failures"] = len(gating)
+        with open(args.stats_json, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"stats written to {args.stats_json}")
+    for result in gating:
         print(f"  {result.summary()}", file=sys.stderr)
-    return 1 if (failed or unverified) else 0
+    return 1 if (gating or unverified) else 0
 
 
 def cmd_detect(args) -> int:
@@ -422,6 +492,56 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--no-optimize", action="store_true", help="skip plan-level rewrites")
     p_serve.add_argument("--cache-size", type=int, default=64, help="shared plan cache capacity")
     p_serve.add_argument("--shards", type=int, default=8, help="cache lock shards")
+    p_serve.add_argument(
+        "--queue-capacity",
+        type=int,
+        default=None,
+        help="bound the submission queue (default: unbounded)",
+    )
+    p_serve.add_argument(
+        "--queue-policy",
+        choices=["reject", "block", "shed-oldest"],
+        default="reject",
+        help="what a full queue does to new submissions",
+    )
+    p_serve.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-request deadline in seconds from admission",
+    )
+    p_serve.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="retry transient failures up to this many times "
+        "(seeded jittered exponential backoff)",
+    )
+    p_serve.add_argument(
+        "--chaos",
+        action="store_true",
+        help="inject deterministic faults (planner/kernel errors, slow "
+        "passes, latch stalls); injected failures don't affect the "
+        "exit code",
+    )
+    p_serve.add_argument(
+        "--chaos-seed",
+        type=int,
+        default=None,
+        help="fault-plan seed (default: REPRO_CHAOS_SEED env, else 0)",
+    )
+    p_serve.add_argument(
+        "--chaos-intensity",
+        type=float,
+        default=0.05,
+        help="fault probability scale in [0, 1]",
+    )
+    p_serve.add_argument(
+        "--stats-json",
+        type=str,
+        default=None,
+        help="write service counters (admitted/shed/retries/...) to this file",
+    )
     p_serve.add_argument("--verbose", action="store_true", help="print every result line")
     p_serve.set_defaults(func=cmd_serve)
 

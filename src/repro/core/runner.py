@@ -251,6 +251,12 @@ def perform_requests(
     workers: int = 1,
     cache=None,
     cache_maxsize: int = 64,
+    queue_capacity: int | None = None,
+    queue_policy: str = "reject",
+    default_timeout: float | None = None,
+    retry=None,
+    breaker=None,
+    faults=None,
 ):
     """Run a batch of :class:`~repro.serve.PermutationRequest`\\ s.
 
@@ -260,14 +266,27 @@ def perform_requests(
     compare the service against.  ``workers > 1`` delegates to
     :class:`~repro.serve.PermutationService` with a shared
     :class:`~repro.pdm.cache.ShardedPlanCache` (or the ``cache`` you
-    pass).  Returns :class:`~repro.serve.ServiceResult` objects in
-    request order either way.
+    pass); the robustness knobs (``queue_capacity``/``queue_policy``,
+    ``default_timeout``, ``retry``, ``breaker``, ``faults``) pass
+    through to the service and are ignored on the sequential path,
+    which by construction has no queue to bound.  Returns
+    :class:`~repro.serve.ServiceResult` objects in request order
+    either way.
     """
     from repro import serve
 
     if workers > 1:
         with serve.PermutationService(
-            geometry, workers=workers, cache=cache, cache_maxsize=cache_maxsize
+            geometry,
+            workers=workers,
+            cache=cache,
+            cache_maxsize=cache_maxsize,
+            queue_capacity=queue_capacity,
+            queue_policy=queue_policy,
+            default_timeout=default_timeout,
+            retry=retry,
+            breaker=breaker,
+            faults=faults,
         ) as service:
             return service.run(requests)
     return serve.run_sequential(geometry, requests, cache=cache)

@@ -18,6 +18,13 @@ __all__ = [
     "BlockStateError",
     "DetectionError",
     "PlanError",
+    "TransientError",
+    "InjectedFault",
+    "RequestCancelled",
+    "DeadlineExceeded",
+    "RequestRejected",
+    "ServiceClosedError",
+    "CircuitOpenError",
 ]
 
 
@@ -78,4 +85,56 @@ class PlanError(ValidationError):
     twice in an order-dependent way (a consuming read after another read
     of the same block, two writes to one block, or a read and a write of
     the same block); such plans must run on the strict engine.
+    """
+
+
+class TransientError(ReproError, RuntimeError):
+    """A failure classified as *transient*: retrying the same request may
+    succeed.
+
+    The service's retry machinery only re-attempts failures of this
+    class (or exceptions carrying a truthy ``transient`` attribute);
+    everything else -- model-rule violations, class preconditions, bad
+    arguments -- is deterministic and retrying would just repeat it.
+    """
+
+
+class InjectedFault(TransientError):
+    """A deterministic fault fired by a :class:`~repro.serve.FaultPlan`.
+
+    Chaos-testing errors are transient by definition: the fault plan's
+    seeded RNG may decide differently on the next attempt, which is
+    exactly the failure shape retry/backoff exists for.
+    """
+
+
+class RequestCancelled(ReproError, RuntimeError):
+    """A request was cancelled cooperatively before it completed.
+
+    Raised from :meth:`~repro.pdm.cancel.CancellationToken.check` at
+    pass/shard boundaries and cache latch waits; the executing worker
+    unwinds promptly and the partial state is discarded (per-request
+    systems are reset before every attempt).
+    """
+
+
+class DeadlineExceeded(RequestCancelled):
+    """A request's deadline expired; cancellation was deadline-driven."""
+
+
+class RequestRejected(ReproError, RuntimeError):
+    """Admission control shed this request (bounded queue at capacity)."""
+
+
+class ServiceClosedError(ValidationError):
+    """A request was submitted to (or stranded in) a closed service."""
+
+
+class CircuitOpenError(ReproError, RuntimeError):
+    """A plan key is quarantined by the per-key circuit breaker.
+
+    Repeated compile failures for one key open its circuit; further
+    requests for that key fail fast instead of burning a worker on a
+    compile that is expected to fail, until the cooldown elapses and a
+    probe request is let through.
     """

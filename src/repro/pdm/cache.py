@@ -33,6 +33,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable
 
+from repro.pdm.cancel import checkpoint
 from repro.pdm.engine import ExecReport, audit_plan, execute_plan, PlanCheck
 from repro.pdm.geometry import DiskGeometry
 from repro.pdm.schedule import IOPlan
@@ -352,7 +353,12 @@ class ShardedPlanCache:
                 # Another thread is compiling this key: wait, then rescan.
                 # Either the entry landed (hit) or the builder failed and
                 # removed the latch (this thread retries as the builder).
-                latch.wait()
+                # The wait is sliced so a waiter whose deadline expires
+                # (or whose service hard-cancels) unwinds promptly
+                # instead of being held hostage by a slow builder; the
+                # builder itself is unaffected and still lands the entry.
+                while not latch.wait(0.05):
+                    checkpoint("latch-wait", str(key[0]) if key else "")
                 continue
             try:
                 compiled = compile_fn()
@@ -435,6 +441,7 @@ def cached_execute(
     """
 
     def _compile() -> CompiledPlan:
+        checkpoint("planner", str(key[0]) if key else "")
         plan, meta = build()
         return compile_plan(
             system.geometry,

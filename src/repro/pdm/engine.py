@@ -61,6 +61,7 @@ from repro.errors import (
     PlanError,
     ValidationError,
 )
+from repro.pdm.cancel import checkpoint
 from repro.pdm.geometry import DiskGeometry
 from repro.pdm.schedule import IOPlan, PlanPass
 from repro.pdm.system import ParallelDiskSystem
@@ -136,14 +137,28 @@ class ExecReport:
 
 
 # ------------------------------------------------------------------ backends
-def _env_int(name: str, default: int) -> int:
+def _env_int(name: str, default: int, minimum: int | None = None) -> int:
+    """Read an integer knob from the environment, validated once, here.
+
+    Malformed or out-of-range values raise a :class:`ValidationError`
+    naming the variable -- not a bare ``ValueError`` from deep inside a
+    kernel -- so a typo in a deployment manifest surfaces as
+    configuration feedback, not an engine crash.
+    """
     raw = os.environ.get(name)
     if raw is None or not raw.strip():
         return default
     try:
-        return int(raw)
+        value = int(raw)
     except ValueError:
-        raise ValidationError(f"{name} must be an integer, got {raw!r}") from None
+        raise ValidationError(
+            f"environment variable {name} must be an integer, got {raw!r}"
+        ) from None
+    if minimum is not None and value < minimum:
+        raise ValidationError(
+            f"environment variable {name} must be >= {minimum}, got {value}"
+        )
+    return value
 
 
 class ExecutionBackend:
@@ -227,11 +242,11 @@ class ParallelBackend(ExecutionBackend):
         chunk_records: int | None = None,
     ) -> None:
         if workers is None:
-            workers = _env_int("REPRO_PARALLEL_WORKERS", os.cpu_count() or 1)
+            workers = _env_int("REPRO_PARALLEL_WORKERS", os.cpu_count() or 1, minimum=1)
         if min_records is None:
-            min_records = _env_int("REPRO_PARALLEL_MIN_RECORDS", 1 << 16)
+            min_records = _env_int("REPRO_PARALLEL_MIN_RECORDS", 1 << 16, minimum=0)
         if chunk_records is None:
-            chunk_records = _env_int("REPRO_PARALLEL_CHUNK_RECORDS", 1 << 15)
+            chunk_records = _env_int("REPRO_PARALLEL_CHUNK_RECORDS", 1 << 15, minimum=1)
         self.workers = max(1, int(workers))
         self.min_records = max(0, int(min_records))
         self.chunk_records = max(1, int(chunk_records))
@@ -268,6 +283,7 @@ class ParallelBackend(ExecutionBackend):
         """Run shard tasks, first inline on the calling thread; re-raise
         the earliest failure (by task order) after all have settled, so
         no worker is still touching shared arrays when this returns."""
+        checkpoint("shard")
         futures = [self.pool().submit(t) for t in tasks[1:]]
         first_exc: BaseException | None = None
         try:
@@ -359,9 +375,16 @@ def get_backend(backend=None) -> ExecutionBackend:
     """
     if isinstance(backend, ExecutionBackend):
         return backend
+    from_env = False
     if backend is None:
         backend = os.environ.get("REPRO_BACKEND") or "numpy"
+        from_env = True
     if backend not in BACKENDS:
+        if from_env:
+            raise ValidationError(
+                f"environment variable REPRO_BACKEND names an unknown "
+                f"backend {backend!r}; choose from {BACKENDS}"
+            )
         raise ValidationError(
             f"unknown backend {backend!r}; choose from {BACKENDS}"
         )
@@ -720,6 +743,7 @@ def _execute_strict(
     budget = None if capture else _stream_budget(stream_records)
     report = ExecReport(engine="strict", streams=[] if capture else None)
     for pas in plan.passes:
+        checkpoint("pass", pas.label)
         pass_records = pas.num_read_blocks * g.B
         if budget is not None and pass_records > budget and pas.num_steps > 1:
             meta = _segment_meta(g, pas)
@@ -734,6 +758,8 @@ def _execute_strict(
         system.stats.begin_pass(pas.label)
         try:
             for s0, s1 in segments:
+                if s0:
+                    checkpoint("shard", pas.label)
                 if meta is None:
                     chunk = pass_records
                 else:
@@ -1017,6 +1043,8 @@ def _run_fused_data(
         segments = [(0, f.num_steps)]
     peak = 0
     for s0, s1 in segments:
+        if s0:
+            checkpoint("shard", f.label)
         stream = _apply_segment(
             system, f, s0, s1, write_keep=write_keep, kernels=kernels
         )
@@ -1104,6 +1132,7 @@ def _execute_fast(
     )
     if capture:
         for f, mem in zip(fused, mems):
+            checkpoint("pass", f.label)
             # whole stream, by construction of budget=None
             stream = _apply_segment(system, f, 0, f.num_steps, kernels=kernels)
             report.host_peak_records = max(report.host_peak_records, stream.size)
@@ -1121,6 +1150,7 @@ def _execute_fast(
         batches = [(i, i + 1) for i in range(len(fused))]
     serial = kernels.serial()
     for i, j in batches:
+        checkpoint("pass", fused[i].label)
         if j - i == 1:
             _run_fused_pass(system, fused[i], budget, report, mems[i], kernels=kernels)
             continue

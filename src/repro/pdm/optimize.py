@@ -48,6 +48,7 @@ from functools import partial
 import numpy as np
 
 from repro.errors import BlockStateError, PlanError, ValidationError
+from repro.pdm.cancel import checkpoint
 from repro.pdm.engine import (
     ENGINES,
     ExecReport,
@@ -557,6 +558,7 @@ class OptimizedPlan:
             batches = [(i, i + 1) for i in range(len(groups))]
         serial = kernels.serial()
         for i, j in batches:
+            checkpoint("pass", groups[i].members[0].label)
             if j - i == 1:
                 peak, streamed = self._run_unit_data(
                     system, groups[i], budget, kernels

@@ -1,0 +1,78 @@
+"""Concurrent permutation serving: many requests, one shared plan cache.
+
+The paper's bound is about I/O parallelism *within* one permutation
+(D disks working every operation); this package is about parallelism
+*across* permutations -- the traffic shape of a production relayout
+service, where many independent workloads (FFT bit-reversals,
+transposes, distribution sorts, ad-hoc BMMCs) arrive concurrently and
+most of them repeat.
+
+Layout:
+
+* :mod:`repro.serve.requests` -- request/result values, workload
+  construction, and the sequential reference runner.
+* :mod:`repro.serve.service` -- :class:`PermutationService`: the worker
+  pool with admission control, deadlines, retries, and fault injection.
+* :mod:`repro.serve.robust` -- :class:`RetryPolicy`,
+  :class:`CircuitBreaker`, and transient-failure classification.
+* :mod:`repro.serve.faults` -- :class:`FaultPlan`: deterministic,
+  seeded chaos fired through the execution stack's cooperative
+  checkpoints.
+
+Quick start::
+
+    from repro import DiskGeometry
+    from repro.serve import PermutationService, synthetic_mix
+
+    g = DiskGeometry(N=2**14, B=2**3, D=2**2, M=2**8)
+    with PermutationService(g, workers=8) as service:
+        results = service.run(synthetic_mix(32))
+    print(service.cache.info())
+    print(service.stats())
+
+or from the shell::
+
+    python -m repro serve --workers 8 --count 32 --repeat 2
+"""
+
+from repro.serve.faults import FaultPlan, FaultSession, chaos_plan
+from repro.serve.requests import (
+    PERM_CHOICES,
+    PermutationRequest,
+    ServiceResult,
+    _execute_request,
+    load_requests,
+    make_permutation,
+    request_from_dict,
+    run_sequential,
+    synthetic_mix,
+)
+from repro.serve.robust import (
+    QUEUE_POLICIES,
+    CircuitBreaker,
+    GuardedCache,
+    RetryPolicy,
+    is_transient,
+)
+from repro.serve.service import PermutationService, ServiceStats
+
+__all__ = [
+    "PERM_CHOICES",
+    "QUEUE_POLICIES",
+    "PermutationRequest",
+    "PermutationService",
+    "ServiceResult",
+    "ServiceStats",
+    "RetryPolicy",
+    "CircuitBreaker",
+    "GuardedCache",
+    "FaultPlan",
+    "FaultSession",
+    "chaos_plan",
+    "is_transient",
+    "make_permutation",
+    "run_sequential",
+    "synthetic_mix",
+    "load_requests",
+    "request_from_dict",
+]

@@ -1,57 +1,31 @@
-"""Concurrent permutation serving: many requests, one shared plan cache.
+"""Service request values, results, and the sequential reference runner.
 
-The paper's bound is about I/O parallelism *within* one permutation
-(D disks working every operation); this module is about parallelism
-*across* permutations -- the traffic shape of a production relayout
-service, where many independent workloads (FFT bit-reversals,
-transposes, distribution sorts, ad-hoc BMMCs) arrive concurrently and
-most of them repeat.
-
-:class:`PermutationService` executes a stream of
-:class:`PermutationRequest`\\ s on a thread pool.  Each worker owns its
-own :class:`~repro.pdm.system.ParallelDiskSystem` (reset and refilled
-per request, so record state, :class:`~repro.pdm.stats.IOStats`, traces
-and memory accounting are strictly per-request), while all workers
-share one :class:`~repro.pdm.cache.ShardedPlanCache`: per-shard locks
-keyed by the ``plan_key`` hash keep unrelated keys contention-free,
-per-key in-flight latches give cold misses compile-once semantics, and
-the hit/miss/eviction counters stay exact under contention.
+This module is the *data* half of :mod:`repro.serve`: the
+:class:`PermutationRequest` value, the :class:`ServiceResult` envelope,
+deterministic workload construction (:func:`synthetic_mix`,
+:func:`load_requests`), and :func:`run_sequential` -- the
+single-threaded reference semantics every concurrency suite compares
+the service against.  The concurrent service itself lives in
+:mod:`repro.serve.service`.
 
 Determinism is the contract the whole test suite holds the service to:
 a request's result -- final portion bytes, I/O stats, pass table --
 must be byte-identical to running the same request alone through
 :func:`repro.core.runner.perform_permutation`.  Concurrency may reorder
 *completion*, never *content*.
-
-Quick start::
-
-    from repro import DiskGeometry
-    from repro.serve import PermutationService, synthetic_mix
-
-    g = DiskGeometry(N=2**14, B=2**3, D=2**2, M=2**8)
-    with PermutationService(g, workers=8) as service:
-        results = service.run(synthetic_mix(32))
-    print(service.cache.info())
-
-or from the shell::
-
-    python -m repro serve --workers 8 --count 32 --repeat 2
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
-import threading
 import time
-from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, fields
 
 import numpy as np
 
 from repro.core.runner import RunReport, perform_permutation
 from repro.errors import ReproError, ValidationError
-from repro.pdm.cache import PlanCache, ShardedPlanCache
 from repro.pdm.geometry import DiskGeometry
 from repro.pdm.system import ParallelDiskSystem
 from repro.perms import library
@@ -61,12 +35,12 @@ from repro.perms.bmmc import BMMCPermutation
 __all__ = [
     "PermutationRequest",
     "ServiceResult",
-    "PermutationService",
     "make_permutation",
     "run_sequential",
     "synthetic_mix",
     "load_requests",
     "request_from_dict",
+    "PERM_CHOICES",
 ]
 
 #: Permutation names accepted by :func:`make_permutation` (and the CLI).
@@ -154,6 +128,14 @@ class PermutationRequest:
     keys).  ``capture_portion`` asks the worker for a SHA-256 digest of
     the final portion's bytes -- the byte-identity handle the
     differential suites compare against sequential reference runs.
+
+    ``timeout`` bounds the request in *seconds from admission* (queue
+    wait counts -- a deadline is a promise to the client, not to the
+    worker); ``deadline`` is an absolute :func:`time.monotonic` instant
+    for callers that computed one themselves.  When both are set the
+    earlier wins.  An expired request unwinds at the next pass/shard
+    boundary with :class:`~repro.errors.DeadlineExceeded` captured on
+    its result.
     """
 
     perm: str | Permutation = "random-bmmc"
@@ -169,6 +151,8 @@ class PermutationRequest:
     source_portion: int = 0
     target_portion: int = 1
     geometry: DiskGeometry | None = None
+    timeout: float | None = None
+    deadline: float | None = None
 
     def describe(self) -> str:
         perm = self.perm if isinstance(self.perm, str) else type(self.perm).__name__
@@ -183,6 +167,9 @@ class ServiceResult:
     Exactly one of ``report``/``error`` is set.  ``digest`` is the
     SHA-256 of the final portion (requests with ``capture_portion``),
     ``worker`` the executing thread's name, ``elapsed`` wall seconds.
+    ``attempts`` counts executions including retries (1 = first try
+    succeeded or was not retryable; 0 = never executed -- shed by
+    admission control or expired while still queued).
     """
 
     index: int
@@ -192,6 +179,7 @@ class ServiceResult:
     digest: str | None = None
     worker: str = ""
     elapsed: float = 0.0
+    attempts: int = 1
 
     @property
     def ok(self) -> bool:
@@ -249,129 +237,6 @@ def _execute_request(
             system.portion_values(report.final_portion).tobytes()
         ).hexdigest()
     return report, digest
-
-
-class PermutationService:
-    """A worker pool serving permutation requests off a shared plan cache.
-
-    ``workers`` threads each lazily build (then reuse) a private
-    :class:`~repro.pdm.system.ParallelDiskSystem` per geometry; the
-    system is :meth:`~repro.pdm.system.ParallelDiskSystem.reset` before
-    every request, so stats, traces, memory accounting and record state
-    never leak between requests.  ``cache=None`` (the default) builds a
-    :class:`~repro.pdm.cache.ShardedPlanCache`; pass ``cache=False`` to
-    serve uncached, or a *thread-safe* cache object implementing
-    ``get_or_compile`` (a plain single-threaded
-    :class:`~repro.pdm.cache.PlanCache` is rejected when ``workers >
-    1`` -- its unlocked LRU would be corrupted by the pool).
-
-    Request failures are isolated: the exception is captured on that
-    request's :class:`ServiceResult` (``result.error``), the worker and
-    its pooled system survive, and the cache is left uncorrupted --
-    a subsequent identical-key request simply recompiles.
-    """
-
-    def __init__(
-        self,
-        geometry: DiskGeometry,
-        workers: int = 4,
-        cache=None,
-        cache_maxsize: int = 64,
-        num_shards: int = 8,
-        backend=None,
-    ) -> None:
-        self.geometry = geometry
-        self.workers = max(1, int(workers))
-        self.backend = backend  # worker default; request.backend overrides
-        if cache is None:
-            cache = ShardedPlanCache(maxsize=cache_maxsize, num_shards=num_shards)
-        elif cache is False:
-            cache = None
-        if self.workers > 1 and type(cache) is PlanCache:
-            raise ValidationError(
-                "PlanCache is not thread-safe; a multi-worker service needs "
-                "a ShardedPlanCache (or workers=1)"
-            )
-        self.cache = cache
-        self._pool = ThreadPoolExecutor(
-            max_workers=self.workers, thread_name_prefix="perm-worker"
-        )
-        self._local = threading.local()
-        self._lock = threading.Lock()
-        self._submitted = 0
-        self._closed = False
-
-    # ------------------------------------------------------------ worker side
-    def _worker_system(self, geometry: DiskGeometry) -> ParallelDiskSystem:
-        systems = getattr(self._local, "systems", None)
-        if systems is None:
-            systems = self._local.systems = {}
-        key = (geometry.N, geometry.B, geometry.D, geometry.M)
-        system = systems.get(key)
-        if system is None:
-            system = systems[key] = ParallelDiskSystem(geometry)
-        else:
-            system.reset()
-        return system
-
-    def _run_one(self, index: int, request: PermutationRequest) -> ServiceResult:
-        result = ServiceResult(
-            index=index, request=request, worker=threading.current_thread().name
-        )
-        t0 = time.perf_counter()
-        try:
-            geometry = request.geometry or self.geometry
-            system = self._worker_system(geometry)
-            result.report, result.digest = _execute_request(
-                system, request, self.cache, backend=self.backend
-            )
-        except Exception as exc:  # isolate: the pool and cache must survive
-            result.error = exc
-        result.elapsed = time.perf_counter() - t0
-        return result
-
-    # ------------------------------------------------------------ client side
-    def submit(self, request: PermutationRequest) -> Future:
-        """Enqueue one request; the future resolves to a
-        :class:`ServiceResult` (failures are captured, never raised)."""
-        if self._closed:
-            raise ValidationError("service is closed")
-        with self._lock:
-            index = self._submitted
-            self._submitted += 1
-        return self._pool.submit(self._run_one, index, request)
-
-    def run(self, requests) -> list[ServiceResult]:
-        """Submit a batch and gather results in request order."""
-        futures = [self.submit(r) for r in requests]
-        return [f.result() for f in futures]
-
-    def map_unordered(self, requests):
-        """Yield results as they complete (completion order)."""
-        from concurrent.futures import as_completed
-
-        futures = [self.submit(r) for r in requests]
-        for f in as_completed(futures):
-            yield f.result()
-
-    def cache_info(self):
-        return self.cache.info() if self.cache is not None else None
-
-    def close(self, wait: bool = True) -> None:
-        self._closed = True
-        self._pool.shutdown(wait=wait)
-
-    def __enter__(self) -> "PermutationService":
-        return self
-
-    def __exit__(self, *exc) -> None:
-        self.close()
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return (
-            f"PermutationService(workers={self.workers}, "
-            f"submitted={self._submitted}, cache={self.cache!r})"
-        )
 
 
 def run_sequential(

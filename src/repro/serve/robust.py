@@ -1,0 +1,240 @@
+"""Retry/backoff policy and the per-plan-key circuit breaker.
+
+Two complementary guards against wasting workers on failure:
+
+* :class:`RetryPolicy` re-attempts *transient* failures (see
+  :func:`is_transient`) with jittered exponential backoff.  Jitter is
+  drawn from an RNG seeded by ``(policy seed, request index)``, so the
+  delay sequence for any request is deterministic -- tests assert exact
+  schedules, and a fleet of identical requests still decorrelates.
+
+* :class:`CircuitBreaker` quarantines *plan keys* whose compiles fail
+  repeatedly.  Compile failures are the expensive, shareable kind of
+  failure: every request for a poisoned key pays a full planning pass
+  just to blow up, and under the compile-once latch its co-arrivals
+  queue behind it.  After ``threshold`` consecutive failures the key's
+  circuit opens and requests fail fast with
+  :class:`~repro.errors.CircuitOpenError` (no planner work, no latch)
+  until ``cooldown`` elapses; the next request is the half-open probe --
+  its success closes the circuit, its failure re-opens it.
+
+:class:`GuardedCache` splices the breaker into any plan cache's
+``get_or_compile`` protocol, so the algorithm wrappers and the engines
+stay breaker-oblivious.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+
+from repro.errors import CircuitOpenError, TransientError, ValidationError
+
+__all__ = [
+    "QUEUE_POLICIES",
+    "RetryPolicy",
+    "CircuitBreaker",
+    "GuardedCache",
+    "is_transient",
+]
+
+#: Admission-control behaviors when the bounded queue is full.
+QUEUE_POLICIES = ("reject", "block", "shed-oldest")
+
+
+def is_transient(exc: BaseException) -> bool:
+    """Whether retrying the request that raised ``exc`` could help.
+
+    :class:`~repro.errors.TransientError` subclasses (including
+    injected faults) are; so is anything carrying a truthy
+    ``transient`` attribute (an escape hatch for exceptions raised by
+    code this package doesn't own).  Everything else -- validation,
+    model-rule violations, class preconditions -- is deterministic and
+    would fail identically on every attempt.
+    """
+    return isinstance(exc, TransientError) or bool(getattr(exc, "transient", False))
+
+
+class RetryPolicy:
+    """Jittered exponential backoff for transient failures.
+
+    ``attempts`` counts *total* executions (1 = no retries).  Delay
+    before retry ``k`` (1-based) is ``base * multiplier**(k-1) * u``,
+    ``u`` uniform in ``[1 - jitter, 1 + jitter]``, capped at
+    ``max_delay``.  :meth:`delays` returns the whole schedule for a
+    request index so callers (and tests) can see it without sleeping.
+    """
+
+    def __init__(
+        self,
+        attempts: int = 3,
+        base: float = 0.01,
+        multiplier: float = 2.0,
+        max_delay: float = 1.0,
+        jitter: float = 0.5,
+        seed: int = 0,
+    ) -> None:
+        if attempts < 1:
+            raise ValidationError(f"retry attempts must be >= 1, got {attempts}")
+        if base < 0 or max_delay < 0:
+            raise ValidationError("retry delays must be >= 0")
+        if not 0.0 <= jitter <= 1.0:
+            raise ValidationError(f"retry jitter must be in [0, 1], got {jitter}")
+        self.attempts = int(attempts)
+        self.base = float(base)
+        self.multiplier = float(multiplier)
+        self.max_delay = float(max_delay)
+        self.jitter = float(jitter)
+        self.seed = int(seed)
+
+    def delays(self, request_index: int) -> list[float]:
+        """The backoff schedule for one request: ``attempts - 1`` delays,
+        deterministic in ``(self.seed, request_index)``."""
+        rng = np.random.default_rng((self.seed, int(request_index)))
+        delays = []
+        for k in range(self.attempts - 1):
+            raw = self.base * self.multiplier**k
+            if self.jitter:
+                raw *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+            delays.append(min(raw, self.max_delay))
+        return delays
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RetryPolicy(attempts={self.attempts}, base={self.base}, "
+            f"multiplier={self.multiplier}, jitter={self.jitter})"
+        )
+
+
+class _Circuit:
+    __slots__ = ("failures", "opened_at", "probing")
+
+    def __init__(self) -> None:
+        self.failures = 0
+        self.opened_at: float | None = None
+        self.probing = False
+
+
+class CircuitBreaker:
+    """Per-key consecutive-failure breaker with cooldown + half-open probe.
+
+    Thread-safe; one instance guards all plan keys of a service.
+    ``clock`` is injectable for tests (defaults to
+    :func:`time.monotonic`).
+    """
+
+    def __init__(
+        self, threshold: int = 3, cooldown: float = 5.0, clock=time.monotonic
+    ) -> None:
+        if threshold < 1:
+            raise ValidationError(f"breaker threshold must be >= 1, got {threshold}")
+        if cooldown < 0:
+            raise ValidationError(f"breaker cooldown must be >= 0, got {cooldown}")
+        self.threshold = int(threshold)
+        self.cooldown = float(cooldown)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._circuits: dict = {}
+        self.trips = 0  # closed -> open transitions
+        self.fast_failures = 0  # requests refused while open
+
+    def allow(self, key) -> None:
+        """Gate one compile attempt for ``key``.
+
+        Raises :class:`~repro.errors.CircuitOpenError` while the
+        circuit is open and cooling down.  After cooldown, exactly one
+        caller is admitted as the half-open probe; others keep failing
+        fast until the probe reports back.
+        """
+        with self._lock:
+            circuit = self._circuits.get(key)
+            if circuit is None or circuit.opened_at is None:
+                return
+            elapsed = self._clock() - circuit.opened_at
+            if elapsed >= self.cooldown and not circuit.probing:
+                circuit.probing = True
+                return
+            self.fast_failures += 1
+        raise CircuitOpenError(
+            f"plan key {key[0]!r} is quarantined after {self.threshold} "
+            f"consecutive compile failures; retry after cooldown "
+            f"({self.cooldown:.3g}s)"
+        )
+
+    def record_failure(self, key) -> None:
+        with self._lock:
+            circuit = self._circuits.setdefault(key, _Circuit())
+            circuit.failures += 1
+            circuit.probing = False
+            if circuit.opened_at is not None:
+                # failed probe: restart the cooldown window
+                circuit.opened_at = self._clock()
+            elif circuit.failures >= self.threshold:
+                circuit.opened_at = self._clock()
+                self.trips += 1
+
+    def record_success(self, key) -> None:
+        with self._lock:
+            self._circuits.pop(key, None)
+
+    def open_keys(self) -> list:
+        with self._lock:
+            return [
+                k for k, c in self._circuits.items() if c.opened_at is not None
+            ]
+
+
+class GuardedCache:
+    """A plan cache wrapped with a :class:`CircuitBreaker`.
+
+    Implements the same ``get_or_compile`` protocol the algorithm
+    wrappers already use (via
+    :func:`repro.pdm.cache.cached_execute`), so threading the breaker
+    through the stack costs nothing but this wrapper: hits bypass the
+    breaker entirely (a cached plan proves the key compiles), misses
+    consult :meth:`CircuitBreaker.allow` before any planner work and
+    report the compile's outcome back.
+
+    Everything else (``info()``, ``hits``, ``clear()``, ...) delegates
+    to the wrapped cache, so counters reconcile exactly as before.
+    """
+
+    def __init__(self, cache, breaker: CircuitBreaker) -> None:
+        self._cache = cache
+        self.breaker = breaker
+
+    def get_or_compile(self, key, compile_fn):
+        breaker = self.breaker
+        # Fast-fail *before* any cache traffic: an open circuit must not
+        # count misses, install latches, or queue waiters.  A cached
+        # entry proves the key compiles, so hits skip the gate.  (The
+        # key-not-cached probe and the compile are not atomic; the worst
+        # race is one extra admitted compile, which just reports its
+        # outcome to the breaker like any other.)
+        if key not in self._cache:
+            breaker.allow(key)
+
+        def _guarded():
+            try:
+                compiled = compile_fn()
+            except BaseException:
+                breaker.record_failure(key)
+                raise
+            breaker.record_success(key)
+            return compiled
+
+        return self._cache.get_or_compile(key, _guarded)
+
+    def __getattr__(self, name):
+        return getattr(self._cache, name)
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def __contains__(self, key) -> bool:
+        return key in self._cache
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"GuardedCache({self._cache!r}, trips={self.breaker.trips})"

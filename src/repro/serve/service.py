@@ -1,0 +1,464 @@
+"""The concurrent permutation service: admission, deadlines, retries.
+
+:class:`PermutationService` executes a stream of
+:class:`~repro.serve.requests.PermutationRequest`\\ s on a pool of
+service-owned worker threads.  Each worker keeps a private
+:class:`~repro.pdm.system.ParallelDiskSystem` per geometry (reset
+before every attempt, so record state, stats, traces and memory
+accounting are strictly per-request) while all workers share one
+:class:`~repro.pdm.cache.ShardedPlanCache`.
+
+On top of the PR-4 execution core this adds the robustness layer:
+
+* **Admission control** -- ``queue_capacity`` bounds the submission
+  queue; ``queue_policy`` picks what happens at capacity (``reject``
+  the newcomer, ``block`` the submitter, or ``shed-oldest`` -- evict
+  the stalest queued request in favor of the newcomer).  Shed requests
+  resolve immediately with :class:`~repro.errors.RequestRejected`
+  captured on their result; ``stats()`` reconciles exactly:
+  ``admitted + shed == submitted`` always.
+
+* **Deadlines + cooperative cancellation** -- every admitted request
+  gets a :class:`~repro.pdm.cancel.CancellationToken` (from its
+  ``timeout``/``deadline``, or the service ``default_timeout``),
+  installed as the worker's ambient scope for the attempt.  The
+  engines, the optimizer, the parallel backend and the plan cache's
+  latch waits all call :func:`~repro.pdm.cancel.checkpoint`, so an
+  expired request frees its worker at the next pass/shard boundary
+  with :class:`~repro.errors.DeadlineExceeded` on its result -- it
+  never occupies the pool to completion.
+
+* **Retry/backoff + circuit breaker** -- ``retry`` re-attempts
+  transient failures on the same worker with the policy's seeded
+  jittered backoff (deadline-aware: backoff sleeps are cut short by
+  cancellation).  ``breaker`` quarantines plan keys whose compiles
+  fail repeatedly (see :class:`~repro.serve.robust.CircuitBreaker`);
+  it engages only when the service has a cache, since it guards the
+  compile path.
+
+* **Fault injection** -- ``faults`` (a
+  :class:`~repro.serve.faults.FaultPlan`) gives each admitted request
+  a deterministic, seeded fault session that fires through the same
+  checkpoints, so overload and failure behavior is testable to exact
+  counters.
+
+Failures of any kind are isolated: the exception is captured on that
+request's :class:`~repro.serve.requests.ServiceResult`, the worker and
+its pooled system survive, and the shared cache stays uncorrupted.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass
+
+from repro.errors import (
+    DeadlineExceeded,
+    RequestCancelled,
+    RequestRejected,
+    ServiceClosedError,
+    ValidationError,
+)
+from repro.pdm.cache import PlanCache, ShardedPlanCache
+from repro.pdm.cancel import CancellationToken, run_scope
+from repro.pdm.geometry import DiskGeometry
+from repro.pdm.system import ParallelDiskSystem
+from repro.serve.requests import PermutationRequest, ServiceResult, _execute_request
+from repro.serve.robust import QUEUE_POLICIES, GuardedCache, is_transient
+
+__all__ = ["PermutationService", "ServiceStats"]
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """A consistent counter snapshot (taken under the service lock).
+
+    Invariants (hold at every instant, not just at rest):
+
+    * ``admitted + shed == submitted``
+    * ``admitted == completed + queue_depth + running``
+    * ``failed <= completed``; ``deadline_exceeded + cancelled <= failed``
+    """
+
+    submitted: int
+    admitted: int
+    shed: int
+    completed: int
+    failed: int
+    retries: int
+    deadline_exceeded: int
+    cancelled: int
+    queue_depth: int
+    running: int
+    workers: int
+    closed: bool
+    breaker_trips: int = 0
+    breaker_fast_failures: int = 0
+
+
+class _Item:
+    """One admitted request waiting in (or popped from) the queue."""
+
+    __slots__ = ("index", "request", "future", "token", "faults")
+
+    def __init__(self, index, request, future, token, faults) -> None:
+        self.index = index
+        self.request = request
+        self.future = future
+        self.token = token
+        self.faults = faults
+
+
+class PermutationService:
+    """A worker pool serving permutation requests off a shared plan cache.
+
+    See the module docstring for the robustness semantics.  Defaults
+    (unbounded queue, no deadlines, no retries, no breaker, no faults)
+    reproduce the PR-4 service exactly.
+
+    ``cache=None`` (the default) builds a
+    :class:`~repro.pdm.cache.ShardedPlanCache`; pass ``cache=False`` to
+    serve uncached, or a *thread-safe* cache object implementing
+    ``get_or_compile`` (a plain single-threaded
+    :class:`~repro.pdm.cache.PlanCache` is rejected when ``workers >
+    1`` -- its unlocked LRU would be corrupted by the pool).
+    """
+
+    def __init__(
+        self,
+        geometry: DiskGeometry,
+        workers: int = 4,
+        cache=None,
+        cache_maxsize: int = 64,
+        num_shards: int = 8,
+        backend=None,
+        queue_capacity: int | None = None,
+        queue_policy: str = "reject",
+        default_timeout: float | None = None,
+        retry=None,
+        breaker=None,
+        faults=None,
+    ) -> None:
+        self.geometry = geometry
+        self.workers = max(1, int(workers))
+        self.backend = backend  # worker default; request.backend overrides
+        if queue_policy not in QUEUE_POLICIES:
+            raise ValidationError(
+                f"unknown queue policy {queue_policy!r}; "
+                f"choose from {QUEUE_POLICIES}"
+            )
+        if queue_capacity is not None and int(queue_capacity) < 1:
+            raise ValidationError(
+                f"queue capacity must be >= 1, got {queue_capacity}"
+            )
+        self.queue_capacity = None if queue_capacity is None else int(queue_capacity)
+        self.queue_policy = queue_policy
+        self.default_timeout = default_timeout
+        self.retry = retry
+        self.faults = faults
+        if cache is None:
+            cache = ShardedPlanCache(maxsize=cache_maxsize, num_shards=num_shards)
+        elif cache is False:
+            cache = None
+        if self.workers > 1 and type(cache) is PlanCache:
+            raise ValidationError(
+                "PlanCache is not thread-safe; a multi-worker service needs "
+                "a ShardedPlanCache (or workers=1)"
+            )
+        self.breaker = breaker
+        if breaker is not None and cache is not None:
+            cache = GuardedCache(cache, breaker)
+        self.cache = cache
+
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self._work = threading.Condition(self._lock)   # queue gained an item
+        self._space = threading.Condition(self._lock)  # queue freed a slot
+        self._done = threading.Condition(self._lock)   # a request finished
+        self._queue: deque[_Item] = deque()
+        self._active: dict[int, CancellationToken] = {}
+        self._closed = False
+        self._submitted = 0
+        self._admitted = 0
+        self._shed = 0
+        self._completed = 0
+        self._failed = 0
+        self._retries = 0
+        self._deadline_exceeded = 0
+        self._cancelled = 0
+        self._running = 0
+        self._threads = [
+            threading.Thread(
+                target=self._worker_loop, name=f"perm-worker-{i}", daemon=True
+            )
+            for i in range(self.workers)
+        ]
+        for t in self._threads:
+            t.start()
+
+    # ------------------------------------------------------------ worker side
+    def _worker_system(self, geometry: DiskGeometry) -> ParallelDiskSystem:
+        systems = getattr(self._local, "systems", None)
+        if systems is None:
+            systems = self._local.systems = {}
+        key = (geometry.N, geometry.B, geometry.D, geometry.M)
+        system = systems.get(key)
+        if system is None:
+            system = systems[key] = ParallelDiskSystem(geometry)
+        else:
+            system.reset()
+        return system
+
+    def _worker_loop(self) -> None:
+        while True:
+            with self._lock:
+                while not self._queue and not self._closed:
+                    self._work.wait()
+                if not self._queue:
+                    return  # closed and drained
+                item = self._queue.popleft()
+                self._running += 1
+                self._active[item.index] = item.token
+                self._space.notify()
+            result = self._serve_item(item)
+            with self._lock:
+                self._running -= 1
+                self._active.pop(item.index, None)
+                self._record_locked(result)
+                self._done.notify_all()
+            item.future.set_result(result)
+
+    def _record_locked(self, result: ServiceResult) -> None:
+        self._completed += 1
+        self._retries += max(0, result.attempts - 1)
+        if result.error is None:
+            return
+        self._failed += 1
+        if isinstance(result.error, DeadlineExceeded):
+            self._deadline_exceeded += 1
+        elif isinstance(result.error, (RequestCancelled, ServiceClosedError)):
+            self._cancelled += 1
+
+    def _serve_item(self, item: _Item) -> ServiceResult:
+        """Run one admitted request, retrying transient failures.
+
+        Never raises: failures are captured on the result.  Cancellation
+        (deadline or hard-cancel) is never retried -- the request's time
+        is up regardless of why the attempt failed.
+        """
+        request = item.request
+        result = ServiceResult(
+            index=item.index,
+            request=request,
+            worker=threading.current_thread().name,
+            attempts=0,
+        )
+        delays = self.retry.delays(item.index) if self.retry is not None else []
+        t0 = time.perf_counter()
+        while True:
+            try:
+                # Expired while queued (or during backoff): unwind before
+                # paying for a system fill.
+                item.token.check()
+                result.attempts += 1
+                system = self._worker_system(request.geometry or self.geometry)
+                with run_scope(item.token, item.faults):
+                    result.report, result.digest = _execute_request(
+                        system, request, self.cache, backend=self.backend
+                    )
+                result.error = None
+                break
+            except Exception as exc:  # isolate: the pool and cache must survive
+                result.error = exc
+                if isinstance(exc, RequestCancelled):
+                    break
+                if result.attempts > len(delays) or not is_transient(exc):
+                    break
+                # Deadline-aware backoff: a cancel/expiry during the
+                # sleep surfaces on the next loop's token.check().
+                item.token.wait(delays[result.attempts - 1])
+        result.elapsed = time.perf_counter() - t0
+        return result
+
+    # ------------------------------------------------------------ client side
+    def _shed_result(self, index: int, request, reason: str) -> ServiceResult:
+        return ServiceResult(
+            index=index,
+            request=request,
+            error=RequestRejected(reason),
+            worker="admission",
+            attempts=0,
+        )
+
+    def _make_token(self, request: PermutationRequest) -> CancellationToken:
+        if request.timeout is None and request.deadline is None:
+            return CancellationToken(timeout=self.default_timeout)
+        return CancellationToken(
+            deadline=request.deadline, timeout=request.timeout
+        )
+
+    def submit(self, request: PermutationRequest) -> Future:
+        """Enqueue one request; the future resolves to a
+        :class:`~repro.serve.requests.ServiceResult` (failures --
+        including admission rejections -- are captured, never raised).
+
+        Only submitting to a closed service raises
+        (:class:`~repro.errors.ServiceClosedError`): that is a caller
+        bug, not a traffic condition.
+        """
+        future: Future = Future()
+        evicted: _Item | None = None
+        with self._lock:
+            if self._closed:
+                raise ServiceClosedError("service is closed")
+            capacity = self.queue_capacity
+            if capacity is not None and len(self._queue) >= capacity:
+                if self.queue_policy == "reject":
+                    index = self._submitted
+                    self._submitted += 1
+                    self._shed += 1
+                    result = self._shed_result(
+                        index, request,
+                        f"queue at capacity ({capacity}); request rejected",
+                    )
+                elif self.queue_policy == "shed-oldest":
+                    evicted = self._queue.popleft()
+                    self._admitted -= 1
+                    self._shed += 1
+                    result = None
+                else:  # block
+                    while len(self._queue) >= capacity and not self._closed:
+                        self._space.wait()
+                    if self._closed:
+                        raise ServiceClosedError(
+                            "service closed while submit was blocked on a "
+                            "full queue"
+                        )
+                    result = None
+                if result is not None:
+                    future.set_result(result)
+                    return future
+            index = self._submitted
+            self._submitted += 1
+            self._admitted += 1
+            faults = (
+                self.faults.session(index)
+                if self.faults is not None and self.faults.active
+                else None
+            )
+            self._queue.append(
+                _Item(index, request, future, self._make_token(request), faults)
+            )
+            self._work.notify()
+        if evicted is not None:
+            evicted.future.set_result(
+                self._shed_result(
+                    evicted.index, evicted.request,
+                    "shed from a full queue in favor of a newer request",
+                )
+            )
+        return future
+
+    def run(self, requests) -> list[ServiceResult]:
+        """Submit a batch and gather results in request order."""
+        futures = [self.submit(r) for r in requests]
+        return [f.result() for f in futures]
+
+    def map_unordered(self, requests):
+        """Yield results as they complete (completion order)."""
+        from concurrent.futures import as_completed
+
+        futures = [self.submit(r) for r in requests]
+        for f in as_completed(futures):
+            yield f.result()
+
+    def cache_info(self):
+        return self.cache.info() if self.cache is not None else None
+
+    def stats(self) -> ServiceStats:
+        with self._lock:
+            return ServiceStats(
+                submitted=self._submitted,
+                admitted=self._admitted,
+                shed=self._shed,
+                completed=self._completed,
+                failed=self._failed,
+                retries=self._retries,
+                deadline_exceeded=self._deadline_exceeded,
+                cancelled=self._cancelled,
+                queue_depth=len(self._queue),
+                running=self._running,
+                workers=self.workers,
+                closed=self._closed,
+                breaker_trips=self.breaker.trips if self.breaker else 0,
+                breaker_fast_failures=(
+                    self.breaker.fast_failures if self.breaker else 0
+                ),
+            )
+
+    def close(self, wait: bool = True, drain_timeout: float | None = None) -> None:
+        """Stop accepting work and shut the pool down.  Idempotent.
+
+        With ``drain_timeout=None`` (the default) the close is fully
+        graceful: already-queued requests still execute, and the call
+        blocks until the pool drains (``wait=False`` skips the block).
+        With a ``drain_timeout``, queued-and-running work gets that many
+        seconds to finish; whatever remains is then hard-cancelled --
+        queued requests resolve with
+        :class:`~repro.errors.ServiceClosedError`, running requests'
+        tokens are cancelled so they unwind at their next checkpoint --
+        and the call still joins every worker before returning.
+        """
+        with self._lock:
+            self._closed = True
+            self._work.notify_all()
+            self._space.notify_all()
+        if not wait:
+            return
+        flushed: list[_Item] = []
+        if drain_timeout is not None:
+            deadline = time.monotonic() + drain_timeout
+            with self._lock:
+                while self._queue or self._running:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 or not self._done.wait(remaining):
+                        break
+                while self._queue:
+                    item = self._queue.popleft()
+                    self._completed += 1
+                    self._failed += 1
+                    self._cancelled += 1
+                    flushed.append(item)
+                for token in self._active.values():
+                    token.cancel("service closed")
+                self._work.notify_all()
+            for item in flushed:
+                item.future.set_result(
+                    ServiceResult(
+                        index=item.index,
+                        request=item.request,
+                        error=ServiceClosedError(
+                            "request was still queued when the service "
+                            "hard-closed"
+                        ),
+                        worker="close",
+                        attempts=0,
+                    )
+                )
+        for t in self._threads:
+            t.join()
+
+    def __enter__(self) -> "PermutationService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PermutationService(workers={self.workers}, "
+            f"submitted={self._submitted}, cache={self.cache!r})"
+        )

@@ -283,6 +283,41 @@ class TestBackends:
         with pytest.raises(ValidationError):
             get_backend(None)
 
+    def test_env_backend_error_names_the_variable(self, monkeypatch):
+        from repro.pdm.engine import get_backend
+
+        monkeypatch.setenv("REPRO_BACKEND", "hexagon")
+        with pytest.raises(ValidationError, match="REPRO_BACKEND"):
+            get_backend(None)
+
+    @pytest.mark.parametrize(
+        "var,bad",
+        [
+            ("REPRO_PARALLEL_WORKERS", "three"),
+            ("REPRO_PARALLEL_WORKERS", "0"),
+            ("REPRO_PARALLEL_MIN_RECORDS", "-1"),
+            ("REPRO_PARALLEL_CHUNK_RECORDS", "1.5"),
+            ("REPRO_PARALLEL_CHUNK_RECORDS", "0"),
+        ],
+    )
+    def test_env_knobs_validated_with_variable_named(
+        self, monkeypatch, var, bad
+    ):
+        from repro.pdm.engine import ParallelBackend
+
+        monkeypatch.setenv(var, bad)
+        with pytest.raises(ValidationError, match=var):
+            ParallelBackend()
+
+    def test_env_knobs_accept_valid_values(self, monkeypatch):
+        from repro.pdm.engine import ParallelBackend
+
+        monkeypatch.setenv("REPRO_PARALLEL_WORKERS", "3")
+        monkeypatch.setenv("REPRO_PARALLEL_MIN_RECORDS", "0")
+        monkeypatch.setenv("REPRO_PARALLEL_CHUNK_RECORDS", "128")
+        b = ParallelBackend()
+        assert (b.workers, b.min_records, b.chunk_records) == (3, 0, 128)
+
     def test_crossover_heuristic(self):
         from repro.pdm.engine import ParallelBackend
 

@@ -1,0 +1,279 @@
+"""Retry policy, transient classification, and the circuit breaker."""
+
+import pytest
+
+from repro.errors import (
+    CircuitOpenError,
+    InjectedFault,
+    NotInClassError,
+    TransientError,
+    ValidationError,
+)
+from repro.pdm.cache import ShardedPlanCache, compile_plan
+from repro.pdm.geometry import DiskGeometry
+from repro.pdm.schedule import PlanBuilder
+from repro.serve import (
+    CircuitBreaker,
+    FaultPlan,
+    GuardedCache,
+    PermutationRequest,
+    PermutationService,
+    RetryPolicy,
+    is_transient,
+)
+
+GEOMETRY = DiskGeometry(N=2**10, B=2**3, D=2**2, M=2**7)
+
+
+def _trivial_compiled(geometry=GEOMETRY):
+    builder = PlanBuilder(geometry)
+    builder.begin_pass("p")
+    slots = builder.read(0, [0])
+    builder.write(1, [0], slots)
+    return compile_plan(geometry, builder.build(), optimize=False)
+
+
+class TestTransientClassification:
+    def test_transient_error_and_subclasses(self):
+        assert is_transient(TransientError("x"))
+        assert is_transient(InjectedFault("x"))
+
+    def test_deterministic_errors_are_not(self):
+        assert not is_transient(ValidationError("x"))
+        assert not is_transient(NotInClassError("x"))
+        assert not is_transient(RuntimeError("x"))
+
+    def test_transient_attribute_escape_hatch(self):
+        exc = RuntimeError("flaky io")
+        exc.transient = True
+        assert is_transient(exc)
+
+
+class TestRetryPolicy:
+    def test_schedule_is_deterministic_per_request(self):
+        policy = RetryPolicy(attempts=4, base=0.01, seed=7)
+        assert policy.delays(3) == policy.delays(3)
+        assert policy.delays(3) != policy.delays(4)  # decorrelated
+
+    def test_exponential_growth_and_cap(self):
+        policy = RetryPolicy(attempts=6, base=0.01, multiplier=2.0,
+                             max_delay=0.05, jitter=0.0, seed=0)
+        delays = policy.delays(0)
+        assert delays == [0.01, 0.02, 0.04, 0.05, 0.05]
+
+    def test_jitter_stays_within_band(self):
+        policy = RetryPolicy(attempts=2, base=1.0, max_delay=10.0,
+                             jitter=0.5, seed=0)
+        for i in range(50):
+            (d,) = policy.delays(i)
+            assert 0.5 <= d <= 1.5
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            RetryPolicy(attempts=0)
+        with pytest.raises(ValidationError):
+            RetryPolicy(jitter=1.5)
+
+    def test_retry_recovers_transient_failures(self):
+        """A fault object whose sessions fail the first attempt and pass
+        the second: the service retries and the request succeeds."""
+
+        class FlakyOnce:
+            active = True
+
+            def session(self, request_index):
+                state = {"fired": False}
+
+                class _Session:
+                    def fire(self, point, label=""):
+                        if point == "pass" and not state["fired"]:
+                            state["fired"] = True
+                            raise TransientError("first attempt always fails")
+
+                return _Session()
+
+        with PermutationService(
+            GEOMETRY, workers=2, faults=FlakyOnce(),
+            retry=RetryPolicy(attempts=3, base=0.001, seed=0),
+        ) as service:
+            results = service.run(
+                [PermutationRequest(perm="random-mrc", method="mrc", seed=s)
+                 for s in range(6)]
+            )
+            stats = service.stats()
+        assert all(r.ok for r in results)
+        assert all(r.attempts == 2 for r in results)
+        assert stats.retries == 6
+        assert stats.failed == 0
+
+    def test_no_retry_without_policy(self):
+        faults = FaultPlan(seed=3, kernel_failures=1.0)
+        with PermutationService(GEOMETRY, workers=1, faults=faults) as service:
+            result = service.run([PermutationRequest(perm="random-mrc",
+                                                     method="mrc")])[0]
+        assert isinstance(result.error, InjectedFault)
+        assert result.attempts == 1
+
+    def test_nontransient_failures_never_retried(self):
+        with PermutationService(
+            GEOMETRY, workers=1, retry=RetryPolicy(attempts=5, base=0.001)
+        ) as service:
+            result = service.run(
+                [PermutationRequest(perm="bit-reversal", method="mrc")]
+            )[0]  # a non-MRC permutation: deterministic NotInClassError
+        assert isinstance(result.error, NotInClassError)
+        assert result.attempts == 1
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestCircuitBreaker:
+    def test_trips_after_threshold_consecutive_failures(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=3, cooldown=5.0, clock=clock)
+        key = ("mld", (1, 2, 3, 4))
+        for _ in range(2):
+            breaker.allow(key)
+            breaker.record_failure(key)
+        breaker.allow(key)  # still closed at 2 failures
+        breaker.record_failure(key)  # third: trips
+        assert breaker.trips == 1
+        with pytest.raises(CircuitOpenError):
+            breaker.allow(key)
+        assert breaker.fast_failures == 1
+
+    def test_success_resets_the_failure_count(self):
+        breaker = CircuitBreaker(threshold=2, cooldown=5.0, clock=FakeClock())
+        key = ("k",)
+        breaker.record_failure(key)
+        breaker.record_success(key)
+        breaker.record_failure(key)
+        breaker.allow(key)  # 1 consecutive failure < threshold: closed
+        assert breaker.trips == 0
+
+    def test_half_open_probe_after_cooldown(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=1, cooldown=10.0, clock=clock)
+        key = ("k",)
+        breaker.record_failure(key)
+        with pytest.raises(CircuitOpenError):
+            breaker.allow(key)
+        clock.now = 11.0
+        breaker.allow(key)  # the probe is admitted
+        with pytest.raises(CircuitOpenError):
+            breaker.allow(key)  # but only one probe at a time
+        breaker.record_success(key)
+        breaker.allow(key)  # success closed the circuit
+        assert key not in breaker.open_keys()
+
+    def test_failed_probe_restarts_cooldown(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=1, cooldown=10.0, clock=clock)
+        key = ("k",)
+        breaker.record_failure(key)
+        clock.now = 11.0
+        breaker.allow(key)
+        breaker.record_failure(key)  # probe failed: re-opened
+        clock.now = 20.0  # cooldown restarted at t=11: still open
+        with pytest.raises(CircuitOpenError):
+            breaker.allow(key)
+        clock.now = 22.0
+        breaker.allow(key)  # next probe
+
+    def test_keys_are_independent(self):
+        breaker = CircuitBreaker(threshold=1, cooldown=10.0, clock=FakeClock())
+        breaker.record_failure(("poisoned",))
+        breaker.allow(("healthy",))  # unaffected
+
+
+class TestGuardedCache:
+    def test_compile_failures_stop_at_threshold(self):
+        """Once the circuit opens, further requests fail fast: the
+        planner thunk is never invoked and the cache counts no miss."""
+        clock = FakeClock()
+        cache = GuardedCache(
+            ShardedPlanCache(maxsize=8, num_shards=1),
+            CircuitBreaker(threshold=2, cooldown=60.0, clock=clock),
+        )
+        key = ("poisoned", 0)
+        compiles = []
+
+        def _boom():
+            compiles.append(1)
+            raise NotInClassError("not in class, every time")
+
+        for _ in range(2):
+            with pytest.raises(NotInClassError):
+                cache.get_or_compile(key, _boom)
+        for _ in range(5):
+            with pytest.raises(CircuitOpenError):
+                cache.get_or_compile(key, _boom)
+
+        assert len(compiles) == 2  # fast failures never re-plan
+        assert cache.breaker.trips == 1
+        assert cache.breaker.fast_failures == 5
+        info = cache.info()
+        assert info.misses == 2  # the open circuit adds no cache traffic
+        # no latch leak from the failing compiles
+        assert all(not s.inflight for s in cache._cache._shards)
+
+    def test_hits_bypass_the_breaker(self):
+        cache = GuardedCache(
+            ShardedPlanCache(maxsize=8, num_shards=1),
+            CircuitBreaker(threshold=1, cooldown=60.0, clock=FakeClock()),
+        )
+        good, poisoned = ("good", 0), ("poisoned", 0)
+        cache.get_or_compile(good, _trivial_compiled)
+        with pytest.raises(NotInClassError):
+            cache.get_or_compile(
+                poisoned, lambda: (_ for _ in ()).throw(NotInClassError("x"))
+            )
+        # poisoned key is open; the good key's hits are unaffected
+        compiled, hit = cache.get_or_compile(good, _trivial_compiled)
+        assert hit is True
+
+    def test_probe_success_closes_and_caches(self):
+        clock = FakeClock()
+        cache = GuardedCache(
+            ShardedPlanCache(maxsize=8, num_shards=1),
+            CircuitBreaker(threshold=1, cooldown=10.0, clock=clock),
+        )
+        key = ("recovers", 0)
+        with pytest.raises(NotInClassError):
+            cache.get_or_compile(
+                key, lambda: (_ for _ in ()).throw(NotInClassError("x"))
+            )
+        with pytest.raises(CircuitOpenError):
+            cache.get_or_compile(key, _trivial_compiled)
+        clock.now = 11.0
+        compiled, hit = cache.get_or_compile(key, _trivial_compiled)
+        assert hit is False
+        compiled2, hit = cache.get_or_compile(key, _trivial_compiled)
+        assert hit is True and compiled2 is compiled
+        assert not cache.breaker.open_keys()
+
+    def test_service_breaker_quarantines_poisoned_key(self):
+        """End to end: repeated requests for a permutation whose compile
+        always fails stop burning planner work once the breaker trips."""
+        breaker = CircuitBreaker(threshold=2, cooldown=600.0)
+        # a non-MRC permutation forced down the MRC path fails in the
+        # planner (inside the compile thunk) deterministically
+        bad = PermutationRequest(perm="bit-reversal", method="mrc", seed=1)
+        with PermutationService(GEOMETRY, workers=1, breaker=breaker) as service:
+            results = service.run([bad] * 6)
+            stats = service.stats()
+            info = service.cache_info()
+
+        assert isinstance(results[0].error, NotInClassError)
+        assert isinstance(results[1].error, NotInClassError)
+        for r in results[2:]:
+            assert isinstance(r.error, CircuitOpenError)
+        assert stats.breaker_trips == 1
+        assert stats.breaker_fast_failures == 4
+        assert info.misses == 2  # fast failures never touch the planner
