@@ -5,7 +5,9 @@ Subcommands
 ``info``    geometry summary plus Figure 1 / Figure 2 renderings
 ``bounds``  every closed-form bound for a geometry and rank gamma
 ``run``     perform a named permutation on the simulator and report
-``serve``   run a request mix concurrently on a worker pool
+``serve``   run a request mix concurrently on a worker pool, or --http
+            to expose the pool as an HTTP/JSON API with /metrics
+``loadgen`` drive a running --http server with a concurrent workload
 ``detect``  run-time BMMC detection on a named permutation's vector
 ``factor``  show the Section 5 factorization of a characteristic matrix
 
@@ -15,6 +17,8 @@ python -m repro info --N 64 --B 2 --D 8 --M 32
 python -m repro run --perm bit-reversal --N 4096 --B 8 --D 4 --M 128
 python -m repro run --perm random-bmmc --rank-gamma 2 --method general
 python -m repro serve --workers 8 --count 32 --repeat 2
+python -m repro serve --http 127.0.0.1:8080 --workers 8 --queue-capacity 64
+python -m repro loadgen --url http://127.0.0.1:8080 --count 64 --concurrency 8
 python -m repro detect --perm gray --tamper
 python -m repro factor --seed 7 --N 4096 --B 8 --D 4 --M 128
 """
@@ -160,9 +164,132 @@ def cmd_run(args) -> int:
     return 0 if report.verified else 1
 
 
+def _serve_policies(args):
+    """Faults / retry / breaker shared by batch serve and --http."""
+    import os
+
+    from repro.serve import CircuitBreaker, RetryPolicy, chaos_plan
+
+    faults = None
+    if args.chaos:
+        chaos_seed = args.chaos_seed
+        if chaos_seed is None:
+            chaos_seed = int(os.environ.get("REPRO_CHAOS_SEED", "0"))
+        faults = chaos_plan(seed=chaos_seed, intensity=args.chaos_intensity)
+        print(
+            f"chaos: seed={chaos_seed} intensity={args.chaos_intensity} "
+            "(deterministic fault injection active)"
+        )
+    retry = (
+        RetryPolicy(attempts=args.retries + 1, seed=args.seed)
+        if args.retries > 0
+        else None
+    )
+    breaker = (
+        CircuitBreaker(
+            threshold=args.breaker_threshold, cooldown=args.breaker_cooldown
+        )
+        if args.breaker_threshold is not None
+        else None
+    )
+    return faults, retry, breaker
+
+
+def serve_http(args, shutdown_event=None, ready=None) -> int:
+    """The ``serve --http`` main loop, factored for tests.
+
+    ``shutdown_event`` is the stop signal; when ``None`` (the real CLI
+    path) one is created and wired to SIGINT/SIGTERM so the server
+    drains gracefully on ctrl-C or a supervisor's TERM.  ``ready`` is
+    called with the started :class:`~repro.serve.HttpFrontend` (tests
+    use it to learn the ephemeral port).
+    """
+    import json
+    import signal
+    import threading
+    from dataclasses import asdict
+
+    from repro.serve import (
+        HttpFrontend,
+        PermutationService,
+        ServiceMetrics,
+        load_warmup_spec,
+        warm_service,
+    )
+
+    g = _geometry(args)
+    faults, retry, breaker = _serve_policies(args)
+    host, _, port = args.http.rpartition(":")
+    if not host or not port.isdigit():
+        print(f"error: --http wants HOST:PORT, got {args.http!r}", file=sys.stderr)
+        return 2
+    warmup = None
+    if args.warmup:
+        try:
+            warmup = load_warmup_spec(args.warmup)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot load {args.warmup}: {exc}", file=sys.stderr)
+            return 2
+
+    service = PermutationService(
+        g,
+        workers=args.workers,
+        cache_maxsize=args.cache_size,
+        num_shards=args.shards,
+        backend=args.backend,
+        queue_capacity=args.queue_capacity,
+        queue_policy=args.queue_policy,
+        default_timeout=args.timeout,
+        retry=retry,
+        breaker=breaker,
+        faults=faults,
+        metrics=ServiceMetrics(),
+    )
+    if warmup:
+        print(warm_service(service, warmup).summary())
+    frontend = HttpFrontend(
+        service,
+        host=host,
+        port=int(port),
+        metrics=service.metrics,
+        drain_timeout=args.drain_timeout,
+        own_service=True,
+    )
+    frontend.start()
+    print(
+        f"listening on {frontend.url} ({args.workers} workers, "
+        f"queue={args.queue_capacity or 'unbounded'}/{args.queue_policy}); "
+        "GET /healthz /stats /cache /config /metrics, POST /permutations"
+    )
+    if shutdown_event is None:
+        shutdown_event = threading.Event()
+        if threading.current_thread() is threading.main_thread():
+            for signum in (signal.SIGINT, signal.SIGTERM):
+                signal.signal(signum, lambda *_: shutdown_event.set())
+    if ready is not None:
+        ready(frontend)
+    try:
+        shutdown_event.wait()
+    finally:
+        print(
+            "shutting down: listener closed, draining "
+            f"(drain_timeout={args.drain_timeout})"
+        )
+        frontend.close()
+        stats = service.stats()
+        print(
+            f"served {stats.completed} of {stats.submitted} submitted "
+            f"({stats.shed} shed, {stats.failed} failed)"
+        )
+        if args.stats_json:
+            with open(args.stats_json, "w") as handle:
+                json.dump(asdict(stats), handle, indent=2, sort_keys=True)
+            print(f"stats written to {args.stats_json}")
+    return 0
+
+
 def cmd_serve(args) -> int:
     import json
-    import os
     import time
     from dataclasses import asdict
 
@@ -175,12 +302,13 @@ def cmd_serve(args) -> int:
     )
     from repro.serve import (
         PermutationService,
-        RetryPolicy,
-        chaos_plan,
         load_requests,
         run_sequential,
         synthetic_mix,
     )
+
+    if args.http:
+        return serve_http(args)
 
     g = _geometry(args)
     if args.requests:
@@ -203,26 +331,12 @@ def cmd_serve(args) -> int:
         print("no requests to serve", file=sys.stderr)
         return 2
 
-    faults = None
-    if args.chaos:
-        chaos_seed = args.chaos_seed
-        if chaos_seed is None:
-            chaos_seed = int(os.environ.get("REPRO_CHAOS_SEED", "0"))
-        faults = chaos_plan(seed=chaos_seed, intensity=args.chaos_intensity)
-        print(
-            f"chaos: seed={chaos_seed} intensity={args.chaos_intensity} "
-            "(deterministic fault injection active)"
-        )
-    retry = (
-        RetryPolicy(attempts=args.retries + 1, seed=args.seed)
-        if args.retries > 0
-        else None
-    )
+    faults, retry, breaker = _serve_policies(args)
 
     t0 = time.perf_counter()
     stats = None
     if args.workers <= 1 and not (
-        faults or retry or args.queue_capacity or args.timeout
+        faults or retry or breaker or args.queue_capacity or args.timeout
     ):
         results = run_sequential(g, requests, backend=args.backend)
         cache_info = None
@@ -237,6 +351,7 @@ def cmd_serve(args) -> int:
             queue_policy=args.queue_policy,
             default_timeout=args.timeout,
             retry=retry,
+            breaker=breaker,
             faults=faults,
         ) as service:
             results = service.run(requests)
@@ -298,6 +413,53 @@ def cmd_serve(args) -> int:
     for result in gating:
         print(f"  {result.summary()}", file=sys.stderr)
     return 1 if (gating or unverified) else 0
+
+
+def cmd_loadgen(args) -> int:
+    import json
+
+    from repro.serve import run_loadgen
+
+    report = run_loadgen(
+        args.url,
+        count=args.count,
+        concurrency=args.concurrency,
+        mode=args.mode,
+        seed=args.seed,
+        distinct_seeds=args.distinct_seeds,
+        wait_timeout=args.wait_timeout,
+        timeout=args.request_timeout,
+        check_reconcile=not args.no_reconcile,
+    )
+    lat = report["latency"]
+    statuses = ", ".join(f"{k}: {v}" for k, v in report["statuses"].items())
+    print(
+        f"{report['count']} requests ({report['mode']}) against {report['url']} "
+        f"with {report['concurrency']} clients "
+        f"(peak concurrency {report['peak_concurrency']})"
+    )
+    print(
+        f"  {report['throughput_rps']:.1f} req/s over "
+        f"{report['wall_seconds']:.3f}s; latency mean {lat['mean'] * 1e3:.1f} ms, "
+        f"p50 {lat['p50'] * 1e3:.1f} ms, p95 {lat['p95'] * 1e3:.1f} ms"
+    )
+    print(f"  statuses: {statuses or 'none'}")
+    if report.get("errors"):
+        errors = ", ".join(f"{k}: {v}" for k, v in report["errors"].items())
+        print(f"  errors: {errors}")
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+        print(f"report written to {args.json}")
+    if not args.no_reconcile:
+        if report["reconciled"]:
+            print("  /metrics reconciles exactly against /stats")
+        else:
+            print("  /metrics does NOT reconcile with /stats:", file=sys.stderr)
+            for problem in report["reconcile_problems"]:
+                print(f"    {problem}", file=sys.stderr)
+            return 1
+    return 0
 
 
 def cmd_detect(args) -> int:
@@ -543,7 +705,93 @@ def build_parser() -> argparse.ArgumentParser:
         help="write service counters (admitted/shed/retries/...) to this file",
     )
     p_serve.add_argument("--verbose", action="store_true", help="print every result line")
+    p_serve.add_argument(
+        "--http",
+        type=str,
+        default=None,
+        metavar="HOST:PORT",
+        help="serve the pool over HTTP/JSON instead of running a batch: "
+        "POST /permutations (sync or submit-then-poll), GET /healthz "
+        "/stats /cache /config and Prometheus-format /metrics; runs "
+        "until SIGINT/SIGTERM, then drains gracefully (port 0 binds an "
+        "ephemeral port)",
+    )
+    p_serve.add_argument(
+        "--warmup",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help="HTTP mode: warm the plan cache at boot from a JSON spec "
+        "(a request list, or {\"mix\": {...synthetic_mix kwargs...}})",
+    )
+    p_serve.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=None,
+        help="HTTP mode: seconds of graceful drain on shutdown before "
+        "queued work is hard-cancelled (default: drain fully)",
+    )
+    p_serve.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=None,
+        help="open a plan key's circuit after this many consecutive "
+        "compile failures (default: no breaker)",
+    )
+    p_serve.add_argument(
+        "--breaker-cooldown",
+        type=float,
+        default=5.0,
+        help="seconds an open circuit waits before its half-open probe",
+    )
     p_serve.set_defaults(func=cmd_serve)
+
+    p_load = sub.add_parser(
+        "loadgen",
+        help="drive a running serve --http endpoint with a concurrent workload",
+        description="Fire the deterministic synthetic mix at an HTTP "
+        "frontend from a pool of concurrent clients (real sockets), "
+        "report throughput / latency percentiles / status counts, and "
+        "verify that the server's /metrics page reconciles exactly "
+        "against its /stats counters.  Exits 1 on reconciliation "
+        "failure, which is the CI gate.",
+    )
+    p_load.add_argument("--url", type=str, required=True, help="server base URL")
+    p_load.add_argument("--count", type=int, default=32, help="requests to send")
+    p_load.add_argument(
+        "--concurrency", type=int, default=8, help="simultaneous client workers"
+    )
+    p_load.add_argument(
+        "--mode",
+        choices=["sync", "async"],
+        default="sync",
+        help="sync POSTs block for the result; async submits then polls",
+    )
+    p_load.add_argument("--seed", type=int, default=0)
+    p_load.add_argument(
+        "--distinct-seeds", type=int, default=2, help="mix seed rotation"
+    )
+    p_load.add_argument(
+        "--wait-timeout",
+        type=float,
+        default=None,
+        help="sync mode: server-side wait bound before degrading to polling",
+    )
+    p_load.add_argument(
+        "--request-timeout",
+        type=float,
+        default=60.0,
+        help="client-side socket timeout per HTTP call",
+    )
+    p_load.add_argument(
+        "--json", type=str, default=None, help="write the full report to this file"
+    )
+    p_load.add_argument(
+        "--no-reconcile",
+        action="store_true",
+        help="skip the /metrics vs /stats reconciliation check",
+    )
+    p_load.set_defaults(func=cmd_loadgen)
 
     p_detect = sub.add_parser("detect", help="run-time BMMC detection")
     _add_geometry_args(p_detect)

@@ -29,11 +29,12 @@ plan, keyed by step count).
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable
 
-from repro.pdm.cancel import checkpoint
+from repro.pdm.cancel import checkpoint, current_trace
 from repro.pdm.engine import ExecReport, audit_plan, execute_plan, PlanCheck
 from repro.pdm.geometry import DiskGeometry
 from repro.pdm.schedule import IOPlan
@@ -41,6 +42,7 @@ from repro.pdm.system import ParallelDiskSystem
 
 __all__ = [
     "CacheInfo",
+    "ShardCacheInfo",
     "CompiledPlan",
     "PlanCache",
     "ShardedPlanCache",
@@ -52,18 +54,44 @@ __all__ = [
 
 @dataclass(frozen=True)
 class CacheInfo:
-    """Counters snapshot for one :class:`PlanCache`."""
+    """Counters snapshot for one :class:`PlanCache`.
+
+    ``latch_waits`` counts requesters that found another thread's
+    compile in flight and waited on its latch (sharded caches only;
+    always 0 for a plain :class:`PlanCache`).
+    """
 
     hits: int
     misses: int
     evictions: int
     size: int
     maxsize: int
+    latch_waits: int = 0
 
     @property
     def hit_rate(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+
+@dataclass(frozen=True)
+class ShardCacheInfo:
+    """One shard's counters, snapshotted under that shard's lock alone.
+
+    The observability contract for ``/stats`` and ``/metrics``: a
+    monitoring scrape reads shards one at a time
+    (:meth:`ShardedPlanCache.shard_infos`), never holding more than one
+    shard lock, so it cannot stall the serving hot path the way a
+    stop-the-world snapshot would.
+    """
+
+    shard: int
+    size: int
+    hits: int
+    misses: int
+    evictions: int
+    latch_waits: int
+    inflight: int
 
 
 def plan_key(algorithm: str, geometry: DiskGeometry, *components) -> tuple:
@@ -275,7 +303,10 @@ class ShardedPlanCache:
     """
 
     class _Shard:
-        __slots__ = ("lock", "entries", "inflight", "hits", "misses", "evictions")
+        __slots__ = (
+            "lock", "entries", "inflight", "hits", "misses", "evictions",
+            "latch_waits",
+        )
 
         def __init__(self) -> None:
             self.lock = threading.Lock()
@@ -284,6 +315,7 @@ class ShardedPlanCache:
             self.hits = 0
             self.misses = 0
             self.evictions = 0
+            self.latch_waits = 0
 
     def __init__(self, maxsize: int = 64, num_shards: int = 8) -> None:
         num_shards = max(1, int(num_shards))
@@ -348,6 +380,7 @@ class ShardedPlanCache:
                     shard.misses += 1
                     building = True
                 else:
+                    shard.latch_waits += 1
                     building = False
             if not building:
                 # Another thread is compiling this key: wait, then rescan.
@@ -357,8 +390,12 @@ class ShardedPlanCache:
                 # (or whose service hard-cancels) unwinds promptly
                 # instead of being held hostage by a slow builder; the
                 # builder itself is unaffected and still lands the entry.
+                waited_from = time.perf_counter()
                 while not latch.wait(0.05):
                     checkpoint("latch-wait", str(key[0]) if key else "")
+                trace = current_trace()
+                if trace is not None:
+                    trace.record("latch_wait", time.perf_counter() - waited_from)
                 continue
             try:
                 compiled = compile_fn()
@@ -398,6 +435,10 @@ class ShardedPlanCache:
     def evictions(self) -> int:
         return sum(s.evictions for s in self._shards)
 
+    @property
+    def latch_waits(self) -> int:
+        return sum(s.latch_waits for s in self._shards)
+
     def info(self) -> CacheInfo:
         return CacheInfo(
             hits=self.hits,
@@ -405,7 +446,32 @@ class ShardedPlanCache:
             evictions=self.evictions,
             size=len(self),
             maxsize=self.maxsize,
+            latch_waits=self.latch_waits,
         )
+
+    def shard_infos(self) -> list[ShardCacheInfo]:
+        """Per-shard counter snapshots, one shard lock at a time.
+
+        Deliberately *not* atomic across shards: a scrape that locked
+        every shard at once would serialize against the serving hot
+        path.  Each row is exact for its shard; the concatenation is a
+        near-point-in-time view, which is what monitoring needs.
+        """
+        infos = []
+        for index, shard in enumerate(self._shards):
+            with shard.lock:
+                infos.append(
+                    ShardCacheInfo(
+                        shard=index,
+                        size=len(shard.entries),
+                        hits=shard.hits,
+                        misses=shard.misses,
+                        evictions=shard.evictions,
+                        latch_waits=shard.latch_waits,
+                        inflight=len(shard.inflight),
+                    )
+                )
+        return infos
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         i = self.info()
@@ -438,12 +504,20 @@ def cached_execute(
     fast-engine execution with ``optimize=True``, then memoized; the
     caller's flag selects which form executes, so one entry serves
     callers on either setting without re-compilation or a key split.
+
+    When the calling thread carries an ambient timing trace
+    (:func:`~repro.pdm.cancel.current_trace` -- the service installs
+    one per request), the plan/compile/execute stage costs are recorded
+    on it, so every served result can report where its wall time went.
     """
+    trace = current_trace()
 
     def _compile() -> CompiledPlan:
         checkpoint("planner", str(key[0]) if key else "")
+        planned_from = time.perf_counter()
         plan, meta = build()
-        return compile_plan(
+        compiled_from = time.perf_counter()
+        compiled = compile_plan(
             system.geometry,
             plan,
             num_portions=system.num_portions,
@@ -451,13 +525,20 @@ def cached_execute(
             optimize=False,  # lazy: see CompiledPlan.ensure_optimized
             meta=meta,
         )
+        if trace is not None:
+            trace.record("plan", compiled_from - planned_from)
+            trace.record("compile", time.perf_counter() - compiled_from)
+        return compiled
 
     if cache is None:
         compiled, hit = _compile(), False
     else:
         compiled, hit = cache.get_or_compile(key, _compile)
+    executed_from = time.perf_counter()
     report = compiled.execute(
         system, engine=engine, stream_records=stream_records, optimize=optimize,
         backend=backend,
     )
+    if trace is not None:
+        trace.record("execute", time.perf_counter() - executed_from)
     return compiled, report, hit

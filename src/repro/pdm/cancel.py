@@ -39,6 +39,7 @@ __all__ = [
     "run_scope",
     "current_token",
     "current_faults",
+    "current_trace",
     "checkpoint",
 ]
 
@@ -107,29 +108,35 @@ class CancellationToken:
 
 
 class _Scope:
-    __slots__ = ("token", "faults")
+    __slots__ = ("token", "faults", "trace")
 
-    def __init__(self, token, faults) -> None:
+    def __init__(self, token, faults, trace) -> None:
         self.token = token
         self.faults = faults
+        self.trace = trace
 
 
 _local = threading.local()
 
 
 @contextmanager
-def run_scope(token: CancellationToken | None = None, faults=None):
-    """Install ``token`` (and an optional fault session) as the calling
-    thread's ambient scope for the duration of the block.
+def run_scope(token: CancellationToken | None = None, faults=None, trace=None):
+    """Install ``token`` (and an optional fault session and timing
+    trace) as the calling thread's ambient scope for the block.
 
     Scopes nest: the previous scope is restored on exit, so a request
     that itself drives the execution stack recursively keeps working.
     ``faults`` is any object with a ``fire(point, label)`` method; the
     service passes a per-request
-    :class:`~repro.serve.faults.FaultSession`.
+    :class:`~repro.serve.faults.FaultSession`.  ``trace`` is any object
+    with a ``record(stage, seconds)`` method (the service passes a
+    :class:`~repro.serve.requests.RequestTrace`); the plan cache uses
+    it to attribute plan/compile/execute/latch-wait time to the request
+    that paid it, without the execution stack importing the service
+    layer.
     """
     previous = getattr(_local, "scope", None)
-    _local.scope = _Scope(token, faults)
+    _local.scope = _Scope(token, faults, trace)
     try:
         yield
     finally:
@@ -146,6 +153,12 @@ def current_faults():
     """The calling thread's ambient fault session, if any."""
     scope = getattr(_local, "scope", None)
     return scope.faults if scope is not None else None
+
+
+def current_trace():
+    """The calling thread's ambient timing trace, if any."""
+    scope = getattr(_local, "scope", None)
+    return scope.trace if scope is not None else None
 
 
 def checkpoint(point: str, label: str = "") -> None:

@@ -18,6 +18,14 @@ Layout:
 * :mod:`repro.serve.faults` -- :class:`FaultPlan`: deterministic,
   seeded chaos fired through the execution stack's cooperative
   checkpoints.
+* :mod:`repro.serve.metrics` -- the stdlib Prometheus-format registry
+  and :class:`ServiceMetrics`, the standard instrument set.
+* :mod:`repro.serve.http` -- :class:`HttpFrontend`: the HTTP/JSON API
+  (submit/poll, ``/stats``, ``/metrics``, graceful drain).
+* :mod:`repro.serve.warmup` -- boot-time cache warming from a JSON
+  spec.
+* :mod:`repro.serve.loadgen` -- the socket-level load generator and
+  the ``/stats`` vs ``/metrics`` reconciliation check.
 
 Quick start::
 
@@ -36,14 +44,19 @@ or from the shell::
 """
 
 from repro.serve.faults import FaultPlan, FaultSession, chaos_plan
+from repro.serve.http import HttpFrontend, status_for
+from repro.serve.loadgen import run_loadgen
+from repro.serve.metrics import MetricsRegistry, ServiceMetrics, parse_prometheus_text
 from repro.serve.requests import (
     PERM_CHOICES,
     PermutationRequest,
+    RequestTrace,
     ServiceResult,
     _execute_request,
     load_requests,
     make_permutation,
     request_from_dict,
+    request_to_dict,
     run_sequential,
     synthetic_mix,
 )
@@ -55,12 +68,14 @@ from repro.serve.robust import (
     is_transient,
 )
 from repro.serve.service import PermutationService, ServiceStats
+from repro.serve.warmup import WarmupReport, load_warmup_spec, warm_service
 
 __all__ = [
     "PERM_CHOICES",
     "QUEUE_POLICIES",
     "PermutationRequest",
     "PermutationService",
+    "RequestTrace",
     "ServiceResult",
     "ServiceStats",
     "RetryPolicy",
@@ -68,11 +83,21 @@ __all__ = [
     "GuardedCache",
     "FaultPlan",
     "FaultSession",
+    "HttpFrontend",
+    "MetricsRegistry",
+    "ServiceMetrics",
+    "WarmupReport",
     "chaos_plan",
     "is_transient",
     "make_permutation",
     "run_sequential",
     "synthetic_mix",
     "load_requests",
+    "load_warmup_spec",
+    "parse_prometheus_text",
     "request_from_dict",
+    "request_to_dict",
+    "run_loadgen",
+    "status_for",
+    "warm_service",
 ]

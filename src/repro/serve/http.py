@@ -1,0 +1,606 @@
+"""The HTTP/JSON frontend: a network face for :class:`PermutationService`.
+
+Everything here is standard library -- :class:`ThreadingHTTPServer`
+plus ``json`` -- so the repo stays dependency-free while still serving
+real sockets.  The frontend is deliberately thin: admission control,
+deadlines, retries, the breaker, and fault injection all live in the
+service; this layer translates HTTP to requests and typed errors to
+status codes.
+
+Routes
+======
+
+``POST /permutations``
+    Body is a request dict (the :func:`~repro.serve.request_from_dict`
+    shape), optionally wrapped as ``{"request": {...}, "mode":
+    "sync"|"async", "wait_timeout": seconds}``.  ``sync`` (default)
+    blocks until the result and answers with its outcome status;
+    ``async`` answers ``202`` immediately with the service-assigned
+    ``request_id`` for polling.  A ``sync`` call whose ``wait_timeout``
+    elapses degrades to the async answer -- the work is not cancelled,
+    the client just polls for it.
+
+``GET /permutations/{id}``
+    Poll one request: ``202`` while pending, the outcome status with
+    the full result once resolved, ``404`` for an unknown id.
+
+``GET /healthz`` ``/stats`` ``/cache`` ``/config``
+    Liveness + introspection, all JSON.  ``/stats`` is the exact
+    :class:`~repro.serve.ServiceStats` snapshot (plus breaker and
+    cache detail) the load generator reconciles ``/metrics`` against.
+
+``GET /metrics``
+    Prometheus text format 0.0.4
+    (:meth:`~repro.serve.metrics.ServiceMetrics.render` with the
+    snapshot bridge refreshed), ready for a real scraper.
+
+Error mapping (:func:`status_for`): the service's typed failures become
+meaningful statuses -- ``RequestRejected`` 429, ``DeadlineExceeded``
+504, ``CircuitOpenError`` and ``ServiceClosedError`` 503,
+``ValidationError`` 400, cooperative ``RequestCancelled`` 499, anything
+else 500.  Subclass order matters twice: ``ServiceClosedError`` *is a*
+``ValidationError`` but means "stop sending traffic here", and
+``DeadlineExceeded`` *is a* ``RequestCancelled`` but deserves 504.
+
+Shutdown (the graceful-drain contract): :meth:`HttpFrontend.close`
+first stops the accept loop and closes the listener socket -- new
+connections are refused cleanly, none are accepted-then-reset -- then
+drains the service (``drain_timeout`` bounds it; queued work past the
+timeout is hard-cancelled and resolves as 503), and finally joins the
+in-flight handler threads, whose blocked ``future.result()`` calls were
+released by the drain.  SIGTERM/SIGINT wiring lives in the CLI.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import OrderedDict
+from concurrent.futures import TimeoutError as _FutureTimeout
+from dataclasses import asdict
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.errors import (
+    CircuitOpenError,
+    DeadlineExceeded,
+    ReproError,
+    RequestCancelled,
+    RequestRejected,
+    ServiceClosedError,
+    ValidationError,
+)
+from repro.serve.metrics import ServiceMetrics
+from repro.serve.requests import request_from_dict, request_to_dict
+
+__all__ = [
+    "HttpFrontend",
+    "status_for",
+    "error_to_dict",
+    "result_to_dict",
+]
+
+#: nginx's "client closed request" -- the request was cancelled, not failed.
+_CLIENT_CLOSED_REQUEST = 499
+
+
+def status_for(error: BaseException | None) -> int:
+    """Map a service failure to its HTTP status (200 for success).
+
+    Checked in subclass-precedence order; see the module docstring for
+    the two places ordering is load-bearing.
+    """
+    if error is None:
+        return 200
+    if isinstance(error, RequestRejected):
+        return 429
+    if isinstance(error, DeadlineExceeded):
+        return 504
+    if isinstance(error, (CircuitOpenError, ServiceClosedError)):
+        return 503
+    if isinstance(error, RequestCancelled):
+        return _CLIENT_CLOSED_REQUEST
+    if isinstance(error, ValidationError):
+        return 400
+    return 500
+
+
+def error_to_dict(error: BaseException) -> dict:
+    from repro.serve.robust import is_transient
+
+    return {
+        "type": type(error).__name__,
+        "message": str(error),
+        "status": status_for(error),
+        "transient": is_transient(error),
+    }
+
+
+def result_to_dict(result) -> dict:
+    """JSON-encode one :class:`~repro.serve.ServiceResult`."""
+    payload = {
+        "request_id": result.request_id,
+        "index": result.index,
+        "ok": result.ok,
+        "status": status_for(result.error),
+        "worker": result.worker,
+        "attempts": result.attempts,
+        "elapsed": result.elapsed,
+        "timings": dict(result.timings),
+    }
+    try:
+        payload["request"] = request_to_dict(result.request)
+    except ValidationError:
+        payload["request"] = {"describe": result.request.describe()}
+    if result.digest is not None:
+        payload["digest"] = result.digest
+    if result.error is not None:
+        payload["error"] = error_to_dict(result.error)
+    if result.report is not None:
+        report = result.report
+        payload["report"] = {
+            "method": report.method,
+            "classes": sorted(c.value for c in report.classes),
+            "passes": report.passes,
+            "parallel_ios": report.io.parallel_ios,
+            "parallel_reads": report.io.parallel_reads,
+            "parallel_writes": report.io.parallel_writes,
+            "blocks_read": report.io.blocks_read,
+            "blocks_written": report.io.blocks_written,
+            "final_portion": report.final_portion,
+            "verified": report.verified,
+            "bounds": dict(report.bounds),
+        }
+    return payload
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """One HTTP exchange.  All routing happens in :meth:`_dispatch`;
+    the do_* methods only name the verb."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-serve/1.0"
+
+    # ------------------------------------------------------------ plumbing
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass  # the metrics registry is the access log
+
+    @property
+    def frontend(self) -> "HttpFrontend":
+        return self.server.frontend
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload, indent=2, sort_keys=True).encode() + b"\n"
+        self._status = status
+        self._account(status)
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_text(self, status: int, text: str, content_type: str) -> None:
+        body = text.encode()
+        self._status = status
+        self._account(status)
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, error: BaseException, status=None) -> None:
+        status = status_for(error) if status is None else status
+        self._send_json(status, {"error": error_to_dict(error)})
+
+    def _read_body(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            return {}
+        try:
+            payload = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise ValidationError(f"request body is not valid JSON: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise ValidationError(
+                f"request body must be a JSON object, got {type(payload).__name__}"
+            )
+        return payload
+
+    # ------------------------------------------------------------ dispatch
+    def do_GET(self) -> None:  # noqa: N802 - stdlib casing
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib casing
+        self._dispatch("POST")
+
+    def _account(self, status: int) -> None:
+        """Record this exchange's counter + latency samples.
+
+        Called from the _send helpers *before* any response byte goes
+        out, so a client that has read its reply is guaranteed to see
+        the request on a subsequent /metrics scrape (counting in a
+        ``finally`` after the write loses that race).  Idempotent; the
+        dispatch ``finally`` is only a net for exchanges that died
+        before sending anything.
+        """
+        if self._accounted:
+            return
+        self._accounted = True
+        metrics = self.frontend.metrics
+        metrics.http_requests.inc(
+            method=self._method, path=self._route_label, status=str(status)
+        )
+        metrics.http_latency.observe(
+            time.perf_counter() - self._started, path=self._route_label
+        )
+
+    def _dispatch(self, method: str) -> None:
+        fe = self.frontend
+        metrics = fe.metrics
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        route, handler = self._route(method, path)
+        self._status = 500
+        self._method = method
+        self._route_label = route
+        self._accounted = False
+        metrics.http_inflight.inc()
+        self._started = time.perf_counter()
+        try:
+            if handler is None:
+                known = path in fe.ROUTES
+                self._route_label = path if known else "*unrouted*"
+                self._send_json(
+                    405 if known else 404,
+                    {
+                        "error": {
+                            "type": "MethodNotAllowed" if known else "NotFound",
+                            "message": (
+                                f"{method} {path} is not routed; see /config"
+                            ),
+                            "status": 405 if known else 404,
+                        }
+                    },
+                )
+            else:
+                handler(self)
+        except ReproError as exc:
+            # Typed library failures surfacing on the submit path
+            # (closed service, malformed request, ...).
+            try:
+                self._send_error_json(exc)
+            except OSError:
+                pass  # client went away mid-answer
+        except OSError:
+            pass  # broken pipe / reset while writing
+        except Exception as exc:  # pragma: no cover - handler bug guard
+            try:
+                self._send_error_json(exc, status=500)
+            except OSError:
+                pass
+        finally:
+            metrics.http_inflight.dec()
+            self._account(self._status)
+
+    def _route(self, method: str, path: str):
+        fe = self.frontend
+        handler = fe.ROUTES.get(path, {}).get(method)
+        if handler is not None:
+            return path, handler
+        if path.startswith("/permutations/") and method == "GET":
+            return "/permutations/{id}", _Handler._get_poll
+        return path, None
+
+    # ------------------------------------------------------------- routes
+    def _get_healthz(self) -> None:
+        fe = self.frontend
+        stats = fe.service.stats()
+        status = 200 if not stats.closed else 503
+        self._send_json(
+            status,
+            {
+                "status": "ok" if not stats.closed else "closed",
+                "workers": stats.workers,
+                "queue_depth": stats.queue_depth,
+                "running": stats.running,
+                "uptime": time.monotonic() - fe.started_at,
+            },
+        )
+
+    def _get_stats(self) -> None:
+        fe = self.frontend
+        payload = asdict(fe.service.stats())
+        breaker = fe.service.breaker
+        if breaker is not None:
+            payload["breaker"] = breaker.snapshot()
+        cache = fe.service.cache
+        if cache is not None:
+            payload["cache"] = asdict(cache.info())
+        self._send_json(200, payload)
+
+    def _get_cache(self) -> None:
+        cache = self.frontend.service.cache
+        if cache is None:
+            self._send_json(200, {"cache": None})
+            return
+        payload = {"cache": asdict(cache.info())}
+        shard_infos = getattr(cache, "shard_infos", None)
+        if shard_infos is not None:
+            payload["shards"] = [asdict(s) for s in shard_infos()]
+        self._send_json(200, payload)
+
+    def _get_config(self) -> None:
+        self._send_json(200, self.frontend.describe_config())
+
+    def _get_metrics(self) -> None:
+        fe = self.frontend
+        text = fe.metrics.render(service=fe.service)
+        self._send_text(
+            200, text, "text/plain; version=0.0.4; charset=utf-8"
+        )
+
+    def _post_permutations(self) -> None:
+        fe = self.frontend
+        body = self._read_body()
+        if "request" in body:
+            mode = body.get("mode", "sync")
+            wait_timeout = body.get("wait_timeout")
+            spec = body["request"]
+            if not isinstance(spec, dict):
+                raise ValidationError('"request" must be a JSON object')
+        else:
+            mode = body.pop("mode", "sync")
+            wait_timeout = body.pop("wait_timeout", None)
+            spec = body
+        if mode not in ("sync", "async"):
+            raise ValidationError(f'mode must be "sync" or "async", got {mode!r}')
+        request = request_from_dict(spec)
+        future = fe.service.submit(request)  # may raise ServiceClosedError
+        request_id = future.request_id
+        fe.track(request_id, future)
+        if mode == "async":
+            self._send_json(202, fe.pending_payload(request_id))
+            return
+        try:
+            result = future.result(timeout=wait_timeout)
+        except (_FutureTimeout, TimeoutError):
+            # Degrade to polling; the request keeps its place in line.
+            self._send_json(202, fe.pending_payload(request_id))
+            return
+        payload = result_to_dict(result)
+        self._send_json(payload["status"], payload)
+
+    def _get_poll(self) -> None:
+        fe = self.frontend
+        request_id = self.path.split("?", 1)[0].rstrip("/").rsplit("/", 1)[-1]
+        future = fe.lookup(request_id)
+        if future is None:
+            self._send_json(
+                404,
+                {
+                    "error": {
+                        "type": "NotFound",
+                        "message": f"unknown request id {request_id!r}",
+                        "status": 404,
+                    }
+                },
+            )
+            return
+        if not future.done():
+            self._send_json(202, fe.pending_payload(request_id))
+            return
+        payload = result_to_dict(future.result())
+        self._send_json(payload["status"], payload)
+
+
+class _Server(ThreadingHTTPServer):
+    """ThreadingHTTPServer that tracks its handler threads itself.
+
+    ``block_on_close=False`` because the stdlib's close-time join would
+    deadlock our drain: handler threads block on service futures, and
+    those futures only resolve once :meth:`HttpFrontend.close` drains
+    the service *after* closing the listener.  The frontend joins the
+    tracked threads at the correct point in the sequence instead.
+    """
+
+    daemon_threads = True
+    block_on_close = False
+
+    def __init__(self, address, frontend: "HttpFrontend") -> None:
+        self.frontend = frontend
+        self._handlers_lock = threading.Lock()
+        self._handlers: list[threading.Thread] = []
+        super().__init__(address, _Handler)
+
+    def process_request(self, request, client_address) -> None:
+        thread = threading.Thread(
+            target=self._handle_one,
+            args=(request, client_address),
+            name=f"http-handler-{client_address[1]}",
+            daemon=True,
+        )
+        with self._handlers_lock:
+            self._handlers = [t for t in self._handlers if t.is_alive()]
+            self._handlers.append(thread)
+        thread.start()
+
+    def _handle_one(self, request, client_address) -> None:
+        try:
+            self.finish_request(request, client_address)
+        except Exception:
+            self.handle_error(request, client_address)
+        finally:
+            self.shutdown_request(request)
+
+    def join_handlers(self, timeout: float) -> int:
+        """Join live handler threads, bounded; returns how many remain."""
+        deadline = time.monotonic() + timeout
+        with self._handlers_lock:
+            threads = list(self._handlers)
+        for thread in threads:
+            thread.join(max(0.0, deadline - time.monotonic()))
+        return sum(1 for t in threads if t.is_alive())
+
+
+class HttpFrontend:
+    """Own one listening socket serving one :class:`PermutationService`.
+
+    ``port=0`` binds an ephemeral port (the tests' pattern); the bound
+    address is available as :attr:`address`/:attr:`url` after
+    :meth:`start`.  The frontend does NOT own the service -- callers
+    that want the frontend to close it pass ``own_service=True`` (the
+    CLI does).
+    """
+
+    #: Completed-request results kept for polling before the oldest
+    #: resolved entries are dropped.
+    RESULT_BACKLOG = 4096
+
+    ROUTES = {
+        "/healthz": {"GET": _Handler._get_healthz},
+        "/stats": {"GET": _Handler._get_stats},
+        "/cache": {"GET": _Handler._get_cache},
+        "/config": {"GET": _Handler._get_config},
+        "/metrics": {"GET": _Handler._get_metrics},
+        "/permutations": {"POST": _Handler._post_permutations},
+    }
+
+    def __init__(
+        self,
+        service,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        metrics: ServiceMetrics | None = None,
+        drain_timeout: float | None = None,
+        own_service: bool = False,
+    ) -> None:
+        self.service = service
+        self.metrics = metrics if metrics is not None else ServiceMetrics()
+        if service.metrics is None:
+            service.metrics = self.metrics
+        self.host = host
+        self.port = port
+        self.drain_timeout = drain_timeout
+        self.own_service = own_service
+        self.started_at = time.monotonic()
+        self._server: _Server | None = None
+        self._thread: threading.Thread | None = None
+        self._lock = threading.Lock()
+        self._futures: OrderedDict[str, object] = OrderedDict()
+        self._closed = False
+
+    # ------------------------------------------------------------ lifecycle
+    def start(self) -> "HttpFrontend":
+        if self._server is not None:
+            return self
+        self._server = _Server((self.host, self.port), self)
+        self.host, self.port = self._server.server_address[:2]
+        self.started_at = time.monotonic()
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            name="http-accept",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return (self.host, self.port)
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def close(self, drain_timeout: float | None = None) -> None:
+        """Graceful shutdown, in the order that avoids reset flakes:
+        stop accepting, close the listener, drain the service (which
+        releases handler threads blocked on futures), join handlers.
+        Idempotent."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        if drain_timeout is None:
+            drain_timeout = self.drain_timeout
+        server, thread = self._server, self._thread
+        if server is not None:
+            server.shutdown()  # stop the accept loop...
+            server.server_close()  # ...and close the listener socket
+        if thread is not None:
+            thread.join(timeout=5.0)
+        if self.own_service:
+            self.service.close(drain_timeout=drain_timeout)
+        elif drain_timeout is not None:
+            self.service.close(drain_timeout=drain_timeout)
+        else:
+            self.service.close()
+        if server is not None:
+            server.join_handlers(timeout=5.0)
+
+    def __enter__(self) -> "HttpFrontend":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------- request registry
+    def track(self, request_id: str, future) -> None:
+        with self._lock:
+            self._futures[request_id] = future
+            while len(self._futures) > self.RESULT_BACKLOG:
+                # Evict the oldest *resolved* entry; never forget live work.
+                for key, pending in self._futures.items():
+                    if pending.done():
+                        del self._futures[key]
+                        break
+                else:
+                    break
+
+    def lookup(self, request_id: str):
+        with self._lock:
+            return self._futures.get(request_id)
+
+    def pending_payload(self, request_id: str) -> dict:
+        future = self.lookup(request_id)
+        return {
+            "request_id": request_id,
+            "status": "done" if future is not None and future.done() else "pending",
+            "href": f"/permutations/{request_id}",
+        }
+
+    # ---------------------------------------------------------- introspection
+    def describe_config(self) -> dict:
+        service = self.service
+        g = service.geometry
+        config = {
+            "geometry": {"N": g.N, "B": g.B, "D": g.D, "M": g.M},
+            "workers": service.workers,
+            "backend": service.backend,
+            "queue_capacity": service.queue_capacity,
+            "queue_policy": service.queue_policy,
+            "default_timeout": service.default_timeout,
+            "drain_timeout": self.drain_timeout,
+            "cache": type(service.cache).__name__ if service.cache else None,
+            "faults_active": bool(service.faults and service.faults.active),
+            "routes": {
+                path: sorted(methods)
+                for path, methods in sorted(self.ROUTES.items())
+            },
+        }
+        retry = service.retry
+        if retry is not None:
+            config["retry"] = {
+                "attempts": retry.attempts,
+                "base": retry.base,
+                "multiplier": retry.multiplier,
+                "max_delay": retry.max_delay,
+                "jitter": retry.jitter,
+                "seed": retry.seed,
+            }
+        breaker = service.breaker
+        if breaker is not None:
+            config["breaker"] = breaker.snapshot()
+        return config

@@ -1,0 +1,270 @@
+"""Socket-level load generation against the HTTP frontend.
+
+This is the closed-box half of the serving story: where the test suites
+drive :class:`~repro.serve.PermutationService` in-process, the load
+generator speaks to a running server the way a real client fleet would
+-- TCP connect, JSON over HTTP, concurrent workers, and no shared state
+with the server beyond the wire.
+
+The workload is the standard deterministic mix
+(:func:`~repro.serve.synthetic_mix`) serialized through
+:func:`~repro.serve.requests.request_to_dict`, issued *open-loop* by a
+pool of ``concurrency`` workers that rendezvous on a barrier before the
+first request -- so a run with ``concurrency=8`` provably has 8
+simultaneous in-flight clients (``peak_concurrency`` in the report
+measures it, the HTTP bench asserts it).
+
+After the burst drains, :func:`reconcile` scrapes ``/stats`` and
+``/metrics`` from the same server and checks them against each other
+*exactly* -- no tolerances: the metrics layer bridges consistent
+``stats()`` snapshots (see :mod:`repro.serve.metrics`), so any drift is
+a bug, and ``admitted + shed == submitted`` must hold on the scraped
+page itself.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.serve.metrics import parse_prometheus_text
+from repro.serve.requests import request_to_dict, synthetic_mix
+
+__all__ = ["http_json", "http_text", "reconcile", "run_loadgen"]
+
+
+def http_json(
+    method: str, base_url: str, path: str, payload=None, timeout: float = 30.0
+):
+    """One HTTP exchange; returns ``(status, parsed_json)``.
+
+    Non-2xx answers are returned, not raised -- the generator *wants*
+    429/503/504 traffic when it probes overload behavior.
+    """
+    url = base_url.rstrip("/") + path
+    data = None
+    headers = {"Accept": "application/json"}
+    if payload is not None:
+        data = json.dumps(payload).encode()
+        headers["Content-Type"] = "application/json"
+    request = urllib.request.Request(url, data=data, method=method, headers=headers)
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            status, body = response.status, response.read()
+    except urllib.error.HTTPError as err:
+        status, body = err.code, err.read()
+    try:
+        parsed = json.loads(body)
+    except (json.JSONDecodeError, UnicodeDecodeError):
+        parsed = {"raw": body.decode(errors="replace")}
+    return status, parsed
+
+
+def http_text(base_url: str, path: str, timeout: float = 30.0):
+    """GET a text resource (``/metrics``); returns ``(status, text)``."""
+    url = base_url.rstrip("/") + path
+    try:
+        with urllib.request.urlopen(url, timeout=timeout) as response:
+            return response.status, response.read().decode()
+    except urllib.error.HTTPError as err:
+        return err.code, err.read().decode(errors="replace")
+
+
+def reconcile(stats: dict, metrics_text: str) -> list[str]:
+    """Check a scraped ``/metrics`` page against a ``/stats`` snapshot.
+
+    Returns the list of violated equalities (empty == reconciled).  The
+    two documents are scraped at different instants, so only quantities
+    that are stable once traffic has drained are compared -- the caller
+    is expected to scrape after its burst completes.  The internal
+    invariant ``admitted + shed == submitted`` is checked on *each*
+    document, which needs no quiescence at all.
+    """
+    samples = parse_prometheus_text(metrics_text)
+    problems = []
+
+    def check(label: str, left, right) -> None:
+        if left != right:
+            problems.append(f"{label}: {left!r} != {right!r}")
+
+    check(
+        "stats: admitted + shed == submitted",
+        stats["admitted"] + stats["shed"],
+        stats["submitted"],
+    )
+    check(
+        "metrics: admitted + shed == submitted",
+        samples.get("repro_requests_admitted_total", 0)
+        + samples.get("repro_requests_shed_total", 0),
+        samples.get("repro_requests_submitted_total", 0),
+    )
+    for field, sample in [
+        ("submitted", "repro_requests_submitted_total"),
+        ("admitted", "repro_requests_admitted_total"),
+        ("shed", "repro_requests_shed_total"),
+        ("completed", "repro_requests_completed_total"),
+        ("failed", "repro_requests_failed_total"),
+        ("retries", "repro_request_retries_total"),
+        ("deadline_exceeded", "repro_requests_deadline_exceeded_total"),
+        ("cancelled", "repro_requests_cancelled_total"),
+    ]:
+        check(
+            f"stats.{field} == {sample}",
+            float(stats[field]),
+            samples.get(sample, 0.0),
+        )
+    return problems
+
+
+class _Tracker:
+    """Counts in-flight workers; ``peak`` proves real concurrency."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._inflight = 0
+        self.peak = 0
+
+    def __enter__(self) -> "_Tracker":
+        with self._lock:
+            self._inflight += 1
+            self.peak = max(self.peak, self._inflight)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        with self._lock:
+            self._inflight -= 1
+
+
+def _percentile(values: list[float], q: float) -> float:
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def run_loadgen(
+    url: str,
+    count: int = 32,
+    concurrency: int = 8,
+    mode: str = "sync",
+    seed: int = 0,
+    distinct_seeds: int = 2,
+    wait_timeout: float | None = None,
+    poll_interval: float = 0.01,
+    timeout: float = 60.0,
+    check_reconcile: bool = True,
+) -> dict:
+    """Fire ``count`` requests at ``url`` from ``concurrency`` workers.
+
+    ``mode="sync"`` posts blocking requests (a 202 answer -- a
+    ``wait_timeout`` degrade -- is polled to completion); ``"async"``
+    uses submit-then-poll for every request.  Returns a JSON-ready
+    report: status histogram, latency percentiles, ``peak_concurrency``,
+    the final ``/stats`` snapshot, and the reconciliation verdict.
+    """
+    if mode not in ("sync", "async"):
+        raise ValueError(f'mode must be "sync" or "async", got {mode!r}')
+    payloads = [
+        request_to_dict(request)
+        for request in synthetic_mix(
+            count, seed=seed, distinct_seeds=distinct_seeds
+        )
+    ]
+    workers = max(1, min(concurrency, count))
+    barrier = threading.Barrier(workers)
+    tracker = _Tracker()
+    first_seen = threading.Event()
+
+    def poll(request_id: str) -> tuple[int, dict]:
+        deadline = time.monotonic() + timeout
+        while True:
+            status, body = http_json(
+                "GET", url, f"/permutations/{request_id}", timeout=timeout
+            )
+            if status != 202 or time.monotonic() >= deadline:
+                return status, body
+            time.sleep(poll_interval)
+
+    def one(payload: dict) -> dict:
+        with tracker:
+            if not first_seen.is_set():
+                # Rendezvous inside the tracker: every worker counts as
+                # in-flight while holding at the barrier, so the burst
+                # provably opens with `workers` simultaneous clients.
+                try:
+                    barrier.wait(timeout=timeout)
+                except threading.BrokenBarrierError:
+                    pass
+                first_seen.set()
+            started = time.perf_counter()
+            if mode == "async":
+                status, body = http_json(
+                    "POST",
+                    url,
+                    "/permutations",
+                    {"request": payload, "mode": "async"},
+                    timeout=timeout,
+                )
+                if status == 202:
+                    status, body = poll(body["request_id"])
+            else:
+                wrapped = dict(payload)
+                if wait_timeout is not None:
+                    wrapped = {"request": payload, "wait_timeout": wait_timeout}
+                status, body = http_json(
+                    "POST", url, "/permutations", wrapped, timeout=timeout
+                )
+                if status == 202:
+                    status, body = poll(body["request_id"])
+        return {
+            "status": status,
+            "elapsed": time.perf_counter() - started,
+            "request_id": body.get("request_id", ""),
+            "error": (body.get("error") or {}).get("type"),
+        }
+
+    t0 = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        outcomes = list(pool.map(one, payloads))
+    wall = time.perf_counter() - t0
+
+    statuses: dict[str, int] = {}
+    errors: dict[str, int] = {}
+    latencies = []
+    for outcome in outcomes:
+        key = str(outcome["status"])
+        statuses[key] = statuses.get(key, 0) + 1
+        if outcome["error"]:
+            errors[outcome["error"]] = errors.get(outcome["error"], 0) + 1
+        latencies.append(outcome["elapsed"])
+    report = {
+        "url": url,
+        "mode": mode,
+        "count": count,
+        "concurrency": workers,
+        "peak_concurrency": tracker.peak,
+        "wall_seconds": wall,
+        "throughput_rps": count / wall if wall > 0 else 0.0,
+        "statuses": dict(sorted(statuses.items())),
+        "errors": dict(sorted(errors.items())),
+        "ok": statuses.get("200", 0),
+        "latency": {
+            "mean": sum(latencies) / len(latencies) if latencies else 0.0,
+            "p50": _percentile(latencies, 0.50),
+            "p95": _percentile(latencies, 0.95),
+            "max": max(latencies, default=0.0),
+        },
+    }
+    if check_reconcile:
+        _, stats = http_json("GET", url, "/stats", timeout=timeout)
+        _, metrics_text = http_text(url, "/metrics", timeout=timeout)
+        problems = reconcile(stats, metrics_text)
+        report["stats"] = stats
+        report["reconciled"] = not problems
+        report["reconcile_problems"] = problems
+    return report

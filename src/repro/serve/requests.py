@@ -25,7 +25,8 @@ from dataclasses import dataclass, fields
 import numpy as np
 
 from repro.core.runner import RunReport, perform_permutation
-from repro.errors import ReproError, ValidationError
+from repro.errors import ValidationError
+from repro.pdm.cancel import run_scope
 from repro.pdm.geometry import DiskGeometry
 from repro.pdm.system import ParallelDiskSystem
 from repro.perms import library
@@ -34,12 +35,14 @@ from repro.perms.bmmc import BMMCPermutation
 
 __all__ = [
     "PermutationRequest",
+    "RequestTrace",
     "ServiceResult",
     "make_permutation",
     "run_sequential",
     "synthetic_mix",
     "load_requests",
     "request_from_dict",
+    "request_to_dict",
     "PERM_CHOICES",
 ]
 
@@ -113,7 +116,7 @@ def make_permutation(
         return BMMCPermutation(random_mld_matrix(g.n, g.b, g.m, rng))
     if name == "random":
         return ExplicitPermutation(rng.permutation(g.N))
-    raise ReproError(f"unknown permutation {name!r}")
+    raise ValidationError(f"unknown permutation {name!r}")
 
 
 @dataclass(frozen=True)
@@ -160,6 +163,34 @@ class PermutationRequest:
         return f"{perm}/{self.method} seed={self.seed} engine={self.engine}{backend}"
 
 
+class RequestTrace:
+    """Per-request identity + timing breakdown, carried in the worker's
+    ambient scope (:func:`~repro.pdm.cancel.run_scope`).
+
+    ``request_id`` travels with the executing thread, so anything the
+    request touches -- the planner, the cache, a log line -- can
+    attribute work to it.  ``timings`` accumulates named stage costs in
+    seconds: the service records ``queue_wait``, the plan cache records
+    ``plan``/``compile``/``execute``/``latch_wait``
+    (:func:`~repro.pdm.cache.cached_execute`).  :meth:`record` *adds*,
+    so staged plans and retries accumulate per stage rather than
+    overwrite.
+    """
+
+    __slots__ = ("request_id", "timings")
+
+    def __init__(self, request_id: str = "") -> None:
+        self.request_id = request_id
+        self.timings: dict[str, float] = {}
+
+    def record(self, stage: str, seconds: float) -> None:
+        self.timings[stage] = self.timings.get(stage, 0.0) + float(seconds)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = ", ".join(f"{k}={v * 1e3:.1f}ms" for k, v in self.timings.items())
+        return f"RequestTrace({self.request_id!r}, {parts})"
+
+
 @dataclass
 class ServiceResult:
     """What the service hands back for one request.
@@ -169,7 +200,10 @@ class ServiceResult:
     ``worker`` the executing thread's name, ``elapsed`` wall seconds.
     ``attempts`` counts executions including retries (1 = first try
     succeeded or was not retryable; 0 = never executed -- shed by
-    admission control or expired while still queued).
+    admission control or expired while still queued).  ``request_id``
+    is the service-assigned identity (the HTTP polling handle) and
+    ``trace`` the per-request :class:`RequestTrace`; ``timings`` is its
+    stage breakdown (empty for requests that never executed).
     """
 
     index: int
@@ -180,10 +214,16 @@ class ServiceResult:
     worker: str = ""
     elapsed: float = 0.0
     attempts: int = 1
+    request_id: str = ""
+    trace: RequestTrace | None = None
 
     @property
     def ok(self) -> bool:
         return self.error is None
+
+    @property
+    def timings(self) -> dict[str, float]:
+        return self.trace.timings if self.trace is not None else {}
 
     def summary(self) -> str:
         if not self.ok:
@@ -251,13 +291,18 @@ def run_sequential(
     """
     results = []
     for index, request in enumerate(requests):
-        result = ServiceResult(index=index, request=request, worker="sequential")
+        trace = RequestTrace(f"seq-{index}")
+        result = ServiceResult(
+            index=index, request=request, worker="sequential",
+            request_id=trace.request_id, trace=trace,
+        )
         t0 = time.perf_counter()
         try:
             system = ParallelDiskSystem(request.geometry or geometry)
-            result.report, result.digest = _execute_request(
-                system, request, cache, backend=backend
-            )
+            with run_scope(trace=trace):
+                result.report, result.digest = _execute_request(
+                    system, request, cache, backend=backend
+                )
         except Exception as exc:
             result.error = exc
         result.elapsed = time.perf_counter() - t0
@@ -335,6 +380,32 @@ def request_from_dict(payload: dict) -> PermutationRequest:
     if isinstance(geometry, dict):
         kwargs["geometry"] = DiskGeometry(**geometry)
     return PermutationRequest(**kwargs)
+
+
+def request_to_dict(request: PermutationRequest) -> dict:
+    """Serialize a request to the JSON shape :func:`request_from_dict`
+    reads (and the HTTP API accepts).
+
+    Only fields that differ from the dataclass defaults are emitted, so
+    the wire form stays minimal and forward-compatible.  Requests
+    carrying a ready :class:`~repro.perms.base.Permutation` object
+    (rather than a name) are not serializable -- the service protocol
+    is names + seeds precisely so requests stay pure values.
+    """
+    payload = {}
+    for f in fields(PermutationRequest):
+        value = getattr(request, f.name)
+        if value == f.default:
+            continue
+        if f.name == "perm" and not isinstance(value, str):
+            raise ValidationError(
+                "only named permutations serialize; got a "
+                f"{type(value).__name__} object"
+            )
+        if f.name == "geometry" and value is not None:
+            value = {"N": value.N, "B": value.B, "D": value.D, "M": value.M}
+        payload[f.name] = value
+    return payload
 
 
 def load_requests(path) -> list[PermutationRequest]:

@@ -185,6 +185,21 @@ class CircuitBreaker:
                 k for k, c in self._circuits.items() if c.opened_at is not None
             ]
 
+    def snapshot(self) -> dict:
+        """One consistent view of the breaker for /stats and /metrics."""
+        with self._lock:
+            open_count = sum(
+                1 for c in self._circuits.values() if c.opened_at is not None
+            )
+            return {
+                "threshold": self.threshold,
+                "cooldown": self.cooldown,
+                "trips": self.trips,
+                "fast_failures": self.fast_failures,
+                "tracked_keys": len(self._circuits),
+                "open_keys": open_count,
+            }
+
 
 class GuardedCache:
     """A plan cache wrapped with a :class:`CircuitBreaker`.

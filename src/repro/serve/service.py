@@ -66,7 +66,12 @@ from repro.pdm.cache import PlanCache, ShardedPlanCache
 from repro.pdm.cancel import CancellationToken, run_scope
 from repro.pdm.geometry import DiskGeometry
 from repro.pdm.system import ParallelDiskSystem
-from repro.serve.requests import PermutationRequest, ServiceResult, _execute_request
+from repro.serve.requests import (
+    PermutationRequest,
+    RequestTrace,
+    ServiceResult,
+    _execute_request,
+)
 from repro.serve.robust import QUEUE_POLICIES, GuardedCache, is_transient
 
 __all__ = ["PermutationService", "ServiceStats"]
@@ -102,14 +107,18 @@ class ServiceStats:
 class _Item:
     """One admitted request waiting in (or popped from) the queue."""
 
-    __slots__ = ("index", "request", "future", "token", "faults")
+    __slots__ = (
+        "index", "request", "future", "token", "faults", "trace", "enqueued_at",
+    )
 
-    def __init__(self, index, request, future, token, faults) -> None:
+    def __init__(self, index, request, future, token, faults, trace) -> None:
         self.index = index
         self.request = request
         self.future = future
         self.token = token
         self.faults = faults
+        self.trace = trace
+        self.enqueued_at = time.monotonic()
 
 
 class PermutationService:
@@ -141,6 +150,7 @@ class PermutationService:
         retry=None,
         breaker=None,
         faults=None,
+        metrics=None,
     ) -> None:
         self.geometry = geometry
         self.workers = max(1, int(workers))
@@ -172,6 +182,12 @@ class PermutationService:
         if breaker is not None and cache is not None:
             cache = GuardedCache(cache, breaker)
         self.cache = cache
+        # ``metrics`` is any object with observe_result(result) -- the
+        # HTTP layer passes a ServiceMetrics.  Counters are NOT counted
+        # here event-by-event: /metrics bridges stats() snapshots, so
+        # the two always reconcile exactly.  This hook only feeds the
+        # latency / stage / pass-count histograms.
+        self.metrics = metrics
 
         self._local = threading.local()
         self._lock = threading.Lock()
@@ -223,13 +239,20 @@ class PermutationService:
                 self._running += 1
                 self._active[item.index] = item.token
                 self._space.notify()
+            item.trace.record("queue_wait", time.monotonic() - item.enqueued_at)
             result = self._serve_item(item)
             with self._lock:
                 self._running -= 1
                 self._active.pop(item.index, None)
                 self._record_locked(result)
                 self._done.notify_all()
+            self._observe(result)
             item.future.set_result(result)
+
+    def _observe(self, result: ServiceResult) -> None:
+        """Feed one resolved result to the metrics hook (histograms)."""
+        if self.metrics is not None:
+            self.metrics.observe_result(result)
 
     def _record_locked(self, result: ServiceResult) -> None:
         self._completed += 1
@@ -255,6 +278,8 @@ class PermutationService:
             request=request,
             worker=threading.current_thread().name,
             attempts=0,
+            request_id=item.trace.request_id,
+            trace=item.trace,
         )
         delays = self.retry.delays(item.index) if self.retry is not None else []
         t0 = time.perf_counter()
@@ -265,7 +290,7 @@ class PermutationService:
                 item.token.check()
                 result.attempts += 1
                 system = self._worker_system(request.geometry or self.geometry)
-                with run_scope(item.token, item.faults):
+                with run_scope(item.token, item.faults, item.trace):
                     result.report, result.digest = _execute_request(
                         system, request, self.cache, backend=self.backend
                     )
@@ -284,13 +309,21 @@ class PermutationService:
         return result
 
     # ------------------------------------------------------------ client side
-    def _shed_result(self, index: int, request, reason: str) -> ServiceResult:
+    @staticmethod
+    def _request_id(index: int) -> str:
+        return f"r{index:06d}"
+
+    def _shed_result(
+        self, index: int, request, reason: str, trace=None
+    ) -> ServiceResult:
         return ServiceResult(
             index=index,
             request=request,
             error=RequestRejected(reason),
             worker="admission",
             attempts=0,
+            request_id=self._request_id(index),
+            trace=trace,
         )
 
     def _make_token(self, request: PermutationRequest) -> CancellationToken:
@@ -308,6 +341,11 @@ class PermutationService:
         Only submitting to a closed service raises
         (:class:`~repro.errors.ServiceClosedError`): that is a caller
         bug, not a traffic condition.
+
+        The returned future carries the service-assigned ``request_id``
+        as an attribute, available immediately -- the HTTP frontend's
+        submit-then-poll protocol needs the handle before the result
+        exists.
         """
         future: Future = Future()
         evicted: _Item | None = None
@@ -339,7 +377,9 @@ class PermutationService:
                         )
                     result = None
                 if result is not None:
+                    future.request_id = result.request_id
                     future.set_result(result)
+                    self._observe(result)
                     return future
             index = self._submitted
             self._submitted += 1
@@ -349,17 +389,23 @@ class PermutationService:
                 if self.faults is not None and self.faults.active
                 else None
             )
+            trace = RequestTrace(self._request_id(index))
+            future.request_id = trace.request_id
             self._queue.append(
-                _Item(index, request, future, self._make_token(request), faults)
+                _Item(
+                    index, request, future, self._make_token(request), faults,
+                    trace,
+                )
             )
             self._work.notify()
         if evicted is not None:
-            evicted.future.set_result(
-                self._shed_result(
-                    evicted.index, evicted.request,
-                    "shed from a full queue in favor of a newer request",
-                )
+            shed = self._shed_result(
+                evicted.index, evicted.request,
+                "shed from a full queue in favor of a newer request",
+                trace=evicted.trace,
             )
+            evicted.future.set_result(shed)
+            self._observe(shed)
         return future
 
     def run(self, requests) -> list[ServiceResult]:
@@ -436,18 +482,20 @@ class PermutationService:
                     token.cancel("service closed")
                 self._work.notify_all()
             for item in flushed:
-                item.future.set_result(
-                    ServiceResult(
-                        index=item.index,
-                        request=item.request,
-                        error=ServiceClosedError(
-                            "request was still queued when the service "
-                            "hard-closed"
-                        ),
-                        worker="close",
-                        attempts=0,
-                    )
+                result = ServiceResult(
+                    index=item.index,
+                    request=item.request,
+                    error=ServiceClosedError(
+                        "request was still queued when the service "
+                        "hard-closed"
+                    ),
+                    worker="close",
+                    attempts=0,
+                    request_id=item.trace.request_id,
+                    trace=item.trace,
                 )
+                item.future.set_result(result)
+                self._observe(result)
         for t in self._threads:
             t.join()
 

@@ -260,3 +260,122 @@ class TestRandomizedPlannerKeys:
         assert (
             first_digit[0].write_ids.tobytes() != first_digit[1].write_ids.tobytes()
         )
+
+
+class TestShardObservability:
+    """Per-shard counters (hits/misses/evictions/latch-waits) must be
+    readable one shard lock at a time, and latch waits must be counted
+    and attributed to the waiting request's ambient trace."""
+
+    @pytest.fixture
+    def sharded(self):
+        from repro.pdm.cache import ShardedPlanCache
+
+        return ShardedPlanCache(maxsize=16, num_shards=4)
+
+    def _compiled(self, geometry):
+        from repro.pdm.schedule import PlanBuilder
+
+        builder = PlanBuilder(geometry)
+        builder.begin_pass("p")
+        slots = builder.read(0, [0])
+        builder.write(1, [0], slots)
+        return compile_plan(geometry, builder.build(), optimize=False)
+
+    def test_shard_infos_reconcile_with_totals(self, geometry, sharded):
+        compiled = self._compiled(geometry)
+        for i in range(12):
+            sharded.get_or_compile(("k", i % 5), lambda: compiled)
+        info = sharded.info()
+        shards = sharded.shard_infos()
+        assert len(shards) == 4
+        assert [s.shard for s in shards] == [0, 1, 2, 3]
+        assert sum(s.hits for s in shards) == info.hits == 7
+        assert sum(s.misses for s in shards) == info.misses == 5
+        assert sum(s.evictions for s in shards) == info.evictions == 0
+        assert sum(s.size for s in shards) == info.size == 5
+
+    def test_shard_infos_while_compile_in_flight(self, geometry, sharded):
+        """A scrape must not block behind (or deadlock with) a compile:
+        compiles run outside the shard lock, so shard_infos() answers
+        while one is in flight and reports it."""
+        import threading
+
+        compiled = self._compiled(geometry)
+        started, release = threading.Event(), threading.Event()
+
+        def slow_compile():
+            started.set()
+            assert release.wait(5.0)
+            return compiled
+
+        builder = threading.Thread(
+            target=sharded.get_or_compile, args=(("slow",), slow_compile)
+        )
+        builder.start()
+        assert started.wait(5.0)
+        try:
+            shards = sharded.shard_infos()  # must return promptly
+            assert sum(s.inflight for s in shards) == 1
+        finally:
+            release.set()
+            builder.join(5.0)
+        assert sum(s.inflight for s in sharded.shard_infos()) == 0
+
+    def test_latch_wait_counted_per_shard_and_traced(self, geometry):
+        import threading
+        import time
+
+        from repro.pdm.cache import ShardedPlanCache
+        from repro.pdm.cancel import run_scope
+
+        cache = ShardedPlanCache(maxsize=4, num_shards=1)
+        compiled = self._compiled(geometry)
+        started, release = threading.Event(), threading.Event()
+
+        def slow_compile():
+            started.set()
+            assert release.wait(5.0)
+            return compiled
+
+        class Trace:
+            def __init__(self):
+                self.timings = {}
+
+            def record(self, stage, seconds):
+                self.timings[stage] = self.timings.get(stage, 0.0) + seconds
+
+        trace = Trace()
+
+        def waiter():
+            with run_scope(trace=trace):
+                cache.get_or_compile(("k",), lambda: compiled)
+
+        builder = threading.Thread(
+            target=cache.get_or_compile, args=(("k",), slow_compile)
+        )
+        builder.start()
+        assert started.wait(5.0)
+        waiting = threading.Thread(target=waiter)
+        waiting.start()
+        # the waiter registers on the latch before the compile finishes
+        deadline = time.monotonic() + 5.0
+        while cache.latch_waits == 0 and time.monotonic() < deadline:
+            time.sleep(0.002)
+        release.set()
+        builder.join(5.0)
+        waiting.join(5.0)
+
+        assert cache.latch_waits == 1
+        assert cache.info().latch_waits == 1
+        shard = cache.shard_infos()[0]
+        assert shard.latch_waits == 1
+        assert shard.hits == 1 and shard.misses == 1
+        assert trace.timings["latch_wait"] > 0.0
+
+    def test_single_thread_never_latch_waits(self, geometry, sharded):
+        compiled = self._compiled(geometry)
+        for _ in range(3):
+            sharded.get_or_compile(("k",), lambda: compiled)
+        assert sharded.latch_waits == 0
+        assert sharded.info().latch_waits == 0

@@ -1,0 +1,491 @@
+"""Socket-level tests for the HTTP/JSON frontend.
+
+Every test here talks to a real listening socket (ephemeral port) --
+nothing reaches into the handler layer -- because the contract under
+test is the wire contract: each typed service error maps to its status
+code with a structured JSON error body, sync and async submission both
+work, and shutdown drains without connection resets.
+"""
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.errors import ServiceClosedError
+from repro.pdm.geometry import DiskGeometry
+from repro.serve import (
+    CircuitBreaker,
+    FaultPlan,
+    HttpFrontend,
+    PermutationService,
+    ServiceMetrics,
+)
+from repro.serve.loadgen import http_json, http_text, reconcile
+
+GEOMETRY = dict(N=2**10, B=2**3, D=2**2, M=2**7)
+
+#: A fault plan that makes every pass sleep: requests become slow enough
+#: to observe queued/running states deterministically via /stats polling.
+SLOW = FaultPlan(seed=0, slow_passes=1.0, slow_seconds=0.05)
+
+TRANSPOSE = {"perm": "transpose", "method": "auto"}
+
+
+@pytest.fixture
+def geometry():
+    return DiskGeometry(**GEOMETRY)
+
+
+def make_frontend(geometry, **service_kwargs):
+    service = PermutationService(geometry, **service_kwargs)
+    return HttpFrontend(service, metrics=ServiceMetrics(), own_service=True)
+
+
+def wait_stats(url, predicate, timeout=5.0):
+    """Poll /stats until ``predicate(stats)`` holds (or fail the test)."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        _, stats = http_json("GET", url, "/stats")
+        if predicate(stats):
+            return stats
+        time.sleep(0.005)
+    pytest.fail("timed out waiting for /stats condition")
+
+
+def poll_result(url, request_id, timeout=10.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        status, body = http_json("GET", url, f"/permutations/{request_id}")
+        if status != 202:
+            return status, body
+        time.sleep(0.005)
+    pytest.fail(f"request {request_id} never resolved")
+
+
+# --------------------------------------------------------------------------
+# happy paths
+# --------------------------------------------------------------------------
+
+class TestSubmission:
+    def test_sync_success(self, geometry):
+        with make_frontend(geometry, workers=2) as fe:
+            status, body = http_json(
+                "POST", fe.url, "/permutations", dict(TRANSPOSE)
+            )
+        assert status == 200
+        assert body["ok"] is True
+        assert body["request_id"] == "r000000"
+        assert body["report"]["verified"] is True
+        assert body["report"]["passes"] >= 1
+        assert body["report"]["parallel_ios"] > 0
+        # the wire form omits default-valued fields ("method": "auto")
+        assert body["request"] == {"perm": "transpose"}
+        assert "queue_wait" in body["timings"]
+        assert "execute" in body["timings"]
+
+    def test_sync_wrapped_body(self, geometry):
+        with make_frontend(geometry, workers=2) as fe:
+            status, body = http_json(
+                "POST", fe.url, "/permutations",
+                {"request": dict(TRANSPOSE), "mode": "sync"},
+            )
+        assert status == 200 and body["ok"] is True
+
+    def test_async_submit_then_poll(self, geometry):
+        with make_frontend(geometry, workers=2) as fe:
+            status, body = http_json(
+                "POST", fe.url, "/permutations",
+                {"request": dict(TRANSPOSE), "mode": "async"},
+            )
+            assert status == 202
+            rid = body["request_id"]
+            assert body["href"] == f"/permutations/{rid}"
+            status, result = poll_result(fe.url, rid)
+        assert status == 200
+        assert result["request_id"] == rid
+        assert result["ok"] is True
+
+    def test_async_poll_while_pending(self, geometry):
+        with make_frontend(geometry, workers=1, faults=SLOW) as fe:
+            _, body = http_json(
+                "POST", fe.url, "/permutations",
+                {"request": dict(TRANSPOSE), "mode": "async"},
+            )
+            rid = body["request_id"]
+            status, pending = http_json("GET", fe.url, f"/permutations/{rid}")
+            if status == 202:
+                assert pending["status"] == "pending"
+            status, _ = poll_result(fe.url, rid)
+            assert status == 200
+
+    def test_sync_wait_timeout_degrades_to_polling(self, geometry):
+        with make_frontend(geometry, workers=1, faults=SLOW) as fe:
+            status, body = http_json(
+                "POST", fe.url, "/permutations",
+                {"request": dict(TRANSPOSE), "wait_timeout": 0.001},
+            )
+            assert status == 202
+            status, result = poll_result(fe.url, body["request_id"])
+            assert status == 200 and result["ok"] is True
+
+    def test_digest_capture_over_the_wire(self, geometry):
+        with make_frontend(geometry, workers=1) as fe:
+            status, body = http_json(
+                "POST", fe.url, "/permutations",
+                {**TRANSPOSE, "capture_portion": True},
+            )
+        assert status == 200
+        assert len(body["digest"]) == 64
+
+
+class TestIntrospection:
+    def test_healthz(self, geometry):
+        with make_frontend(geometry, workers=2) as fe:
+            status, body = http_json("GET", fe.url, "/healthz")
+        assert status == 200
+        assert body["status"] == "ok"
+        assert body["workers"] == 2
+
+    def test_stats_counts_requests(self, geometry):
+        with make_frontend(geometry, workers=2) as fe:
+            http_json("POST", fe.url, "/permutations", dict(TRANSPOSE))
+            status, stats = http_json("GET", fe.url, "/stats")
+        assert status == 200
+        assert stats["submitted"] == 1
+        assert stats["admitted"] + stats["shed"] == stats["submitted"]
+        assert stats["cache"]["misses"] >= 1
+
+    def test_cache_shows_per_shard_detail(self, geometry):
+        with make_frontend(geometry, workers=2, num_shards=4) as fe:
+            http_json("POST", fe.url, "/permutations", dict(TRANSPOSE))
+            status, body = http_json("GET", fe.url, "/cache")
+        assert status == 200
+        assert len(body["shards"]) == 4
+        total_misses = sum(s["misses"] for s in body["shards"])
+        assert total_misses == body["cache"]["misses"]
+
+    def test_config_reports_knobs(self, geometry):
+        breaker = CircuitBreaker(threshold=2, cooldown=0.5)
+        with make_frontend(
+            geometry,
+            workers=3,
+            queue_capacity=7,
+            queue_policy="shed-oldest",
+            breaker=breaker,
+        ) as fe:
+            status, config = http_json("GET", fe.url, "/config")
+        assert status == 200
+        assert config["workers"] == 3
+        assert config["queue_capacity"] == 7
+        assert config["queue_policy"] == "shed-oldest"
+        assert config["breaker"]["threshold"] == 2
+        assert config["geometry"] == GEOMETRY
+        assert "/permutations" in config["routes"]
+
+    def test_metrics_page_parses_and_reconciles(self, geometry):
+        with make_frontend(geometry, workers=2) as fe:
+            for _ in range(3):
+                http_json("POST", fe.url, "/permutations", dict(TRANSPOSE))
+            _, stats = http_json("GET", fe.url, "/stats")
+            status, page = http_text(fe.url, "/metrics")
+        assert status == 200
+        assert "# TYPE repro_requests_submitted_total counter" in page
+        assert reconcile(stats, page) == []
+
+    def test_http_traffic_is_itself_metered(self, geometry):
+        with make_frontend(geometry, workers=1) as fe:
+            http_json("POST", fe.url, "/permutations", dict(TRANSPOSE))
+            http_json("GET", fe.url, "/healthz")
+            _, page = http_text(fe.url, "/metrics")
+        assert (
+            'repro_http_requests_total{method="POST",path="/permutations",status="200"} 1'
+            in page
+        )
+        assert (
+            'repro_http_requests_total{method="GET",path="/healthz",status="200"} 1'
+            in page
+        )
+
+
+# --------------------------------------------------------------------------
+# the error taxonomy, over the wire
+# --------------------------------------------------------------------------
+
+class TestErrorTaxonomy:
+    def test_validation_error_is_400(self, geometry):
+        with make_frontend(geometry, workers=1) as fe:
+            status, body = http_json(
+                "POST", fe.url, "/permutations", {"no_such_field": 1}
+            )
+        assert status == 400
+        assert body["error"]["type"] == "ValidationError"
+        assert "no_such_field" in body["error"]["message"]
+        assert body["error"]["status"] == 400
+
+    def test_unknown_perm_name_is_400(self, geometry):
+        # the name is only resolved on a worker, so this arrives as a
+        # failed *result*, not a submit-time rejection -- the status
+        # mapping must treat it as the client error it is
+        with make_frontend(geometry, workers=1) as fe:
+            status, body = http_json(
+                "POST", fe.url, "/permutations", {"perm": "nope"}
+            )
+        assert status == 400
+        assert body["error"]["type"] == "ValidationError"
+        assert "nope" in body["error"]["message"]
+
+    def test_malformed_json_is_400(self, geometry):
+        with make_frontend(geometry, workers=1) as fe:
+            request = urllib.request.Request(
+                fe.url + "/permutations",
+                data=b"{not json",
+                method="POST",
+                headers={"Content-Type": "application/json"},
+            )
+            with pytest.raises(urllib.error.HTTPError) as err:
+                urllib.request.urlopen(request, timeout=10)
+            assert err.value.code == 400
+            body = json.loads(err.value.read())
+            assert body["error"]["type"] == "ValidationError"
+
+    def test_non_object_body_is_400(self, geometry):
+        with make_frontend(geometry, workers=1) as fe:
+            request = urllib.request.Request(
+                fe.url + "/permutations",
+                data=b"[1, 2]",
+                method="POST",
+                headers={"Content-Type": "application/json"},
+            )
+            with pytest.raises(urllib.error.HTTPError) as err:
+                urllib.request.urlopen(request, timeout=10)
+            assert err.value.code == 400
+
+    def test_bad_mode_is_400(self, geometry):
+        with make_frontend(geometry, workers=1) as fe:
+            status, body = http_json(
+                "POST", fe.url, "/permutations",
+                {"request": dict(TRANSPOSE), "mode": "fire-and-forget"},
+            )
+        assert status == 400
+
+    def test_queue_full_reject_is_429(self, geometry):
+        with make_frontend(
+            geometry,
+            workers=1,
+            queue_capacity=1,
+            queue_policy="reject",
+            faults=SLOW,
+        ) as fe:
+            # Occupy the worker, then the single queue slot, then overflow.
+            http_json(
+                "POST", fe.url, "/permutations",
+                {"request": dict(TRANSPOSE), "mode": "async"},
+            )
+            wait_stats(fe.url, lambda s: s["running"] == 1)
+            http_json(
+                "POST", fe.url, "/permutations",
+                {"request": dict(TRANSPOSE), "mode": "async"},
+            )
+            wait_stats(fe.url, lambda s: s["queue_depth"] == 1)
+            status, body = http_json(
+                "POST", fe.url, "/permutations", dict(TRANSPOSE)
+            )
+            assert status == 429
+            assert body["error"]["type"] == "RequestRejected"
+            assert "capacity" in body["error"]["message"]
+
+    def test_shed_oldest_evicts_queued_request_as_429(self, geometry):
+        with make_frontend(
+            geometry,
+            workers=1,
+            queue_capacity=1,
+            queue_policy="shed-oldest",
+            faults=SLOW,
+        ) as fe:
+            http_json(
+                "POST", fe.url, "/permutations",
+                {"request": dict(TRANSPOSE), "mode": "async"},
+            )
+            wait_stats(fe.url, lambda s: s["running"] == 1)
+            _, queued = http_json(
+                "POST", fe.url, "/permutations",
+                {"request": dict(TRANSPOSE), "mode": "async"},
+            )
+            wait_stats(fe.url, lambda s: s["queue_depth"] == 1)
+            _, newer = http_json(
+                "POST", fe.url, "/permutations",
+                {"request": dict(TRANSPOSE), "mode": "async"},
+            )
+            # The older queued request was evicted in favor of the newcomer.
+            status, body = poll_result(fe.url, queued["request_id"])
+            assert status == 429
+            assert body["error"]["type"] == "RequestRejected"
+            assert "shed" in body["error"]["message"]
+            status, _ = poll_result(fe.url, newer["request_id"])
+            assert status == 200
+
+    def test_deadline_exceeded_is_504(self, geometry):
+        # Multi-pass unfused plan + slow passes: the deadline expires
+        # between passes, where the cooperative checkpoint catches it
+        # (optimize would fuse the boundaries away).
+        with make_frontend(geometry, workers=1, faults=SLOW) as fe:
+            status, body = http_json(
+                "POST", fe.url, "/permutations",
+                {
+                    "perm": "bit-reversal",
+                    "method": "bmmc",
+                    "optimize": False,
+                    "verify": False,
+                    "timeout": 0.02,
+                },
+            )
+        assert status == 504
+        assert body["error"]["type"] == "DeadlineExceeded"
+        assert body["error"]["status"] == 504
+
+    def test_injected_fault_is_500_and_transient(self, geometry):
+        with make_frontend(
+            geometry,
+            workers=1,
+            faults=FaultPlan(seed=0, planner_failures=1.0),
+        ) as fe:
+            status, body = http_json(
+                "POST", fe.url, "/permutations", dict(TRANSPOSE)
+            )
+        assert status == 500
+        assert body["error"]["type"] == "InjectedFault"
+        assert body["error"]["transient"] is True
+
+    def test_circuit_open_is_503(self, geometry):
+        with make_frontend(
+            geometry,
+            workers=1,
+            breaker=CircuitBreaker(threshold=1, cooldown=60.0),
+            faults=FaultPlan(seed=0, planner_failures=1.0),
+        ) as fe:
+            status, _ = http_json(
+                "POST", fe.url, "/permutations", dict(TRANSPOSE)
+            )
+            assert status == 500  # the compile failure that trips the breaker
+            status, body = http_json(
+                "POST", fe.url, "/permutations", dict(TRANSPOSE)
+            )
+            assert status == 503
+            assert body["error"]["type"] == "CircuitOpenError"
+            assert "quarantined" in body["error"]["message"]
+
+    def test_submit_after_service_close_is_503(self, geometry):
+        with make_frontend(geometry, workers=1) as fe:
+            fe.service.close(wait=False)
+            status, body = http_json(
+                "POST", fe.url, "/permutations", dict(TRANSPOSE)
+            )
+            assert status == 503
+            assert body["error"]["type"] == "ServiceClosedError"
+
+    def test_unknown_path_is_404(self, geometry):
+        with make_frontend(geometry, workers=1) as fe:
+            status, body = http_json("GET", fe.url, "/no/such/route")
+        assert status == 404
+        assert body["error"]["type"] == "NotFound"
+
+    def test_unknown_request_id_is_404(self, geometry):
+        with make_frontend(geometry, workers=1) as fe:
+            status, body = http_json("GET", fe.url, "/permutations/r999999")
+        assert status == 404
+
+    def test_wrong_method_is_405(self, geometry):
+        with make_frontend(geometry, workers=1) as fe:
+            status, body = http_json("POST", fe.url, "/stats", {})
+            assert status == 405
+            status, _ = http_json("GET", fe.url, "/permutations")
+            assert status == 405
+
+    def test_error_statuses_are_metered(self, geometry):
+        with make_frontend(geometry, workers=1) as fe:
+            http_json("POST", fe.url, "/permutations", {"no_such_field": 1})
+            _, page = http_text(fe.url, "/metrics")
+        assert (
+            'repro_http_requests_total{method="POST",path="/permutations",status="400"} 1'
+            in page
+        )
+
+
+# --------------------------------------------------------------------------
+# shutdown semantics (satellite: graceful drain over HTTP)
+# --------------------------------------------------------------------------
+
+class TestShutdown:
+    def test_close_is_idempotent(self, geometry):
+        fe = make_frontend(geometry, workers=1).start()
+        fe.close()
+        fe.close()
+
+    def test_inflight_sync_request_completes_during_close(self, geometry):
+        fe = make_frontend(geometry, workers=1, faults=SLOW).start()
+        outcome = {}
+
+        def client():
+            outcome["status"], outcome["body"] = http_json(
+                "POST", fe.url, "/permutations", dict(TRANSPOSE)
+            )
+
+        thread = threading.Thread(target=client)
+        thread.start()
+        wait_stats(fe.url, lambda s: s["running"] == 1)
+        fe.close()  # graceful: drains the running request first
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+        assert outcome["status"] == 200
+        assert outcome["body"]["ok"] is True
+
+    def test_listener_refuses_new_connections_after_close(self, geometry):
+        fe = make_frontend(geometry, workers=1).start()
+        url = fe.url
+        fe.close()
+        with pytest.raises(urllib.error.URLError):
+            urllib.request.urlopen(url + "/healthz", timeout=2)
+
+    def test_drain_timeout_hard_cancels_queued_work(self, geometry):
+        fe = make_frontend(geometry, workers=1, faults=SLOW).start()
+        http_json(
+            "POST", fe.url, "/permutations",
+            {"request": dict(TRANSPOSE), "mode": "async"},
+        )
+        wait_stats(fe.url, lambda s: s["running"] == 1)
+        _, queued = http_json(
+            "POST", fe.url, "/permutations",
+            {"request": dict(TRANSPOSE), "mode": "async"},
+        )
+        rid = queued["request_id"]
+        fe.close(drain_timeout=0.0)
+        # The listener is gone; the stranded future resolved typed.
+        result = fe.lookup(rid).result(timeout=5)
+        assert isinstance(result.error, ServiceClosedError)
+        assert result.request_id == rid
+        stats = fe.service.stats()
+        assert stats.cancelled >= 1
+        assert stats.admitted + stats.shed == stats.submitted
+
+    def test_stats_reconcile_after_hard_close(self, geometry):
+        metrics = ServiceMetrics()
+        service = PermutationService(geometry, workers=1, faults=SLOW)
+        fe = HttpFrontend(service, metrics=metrics, own_service=True).start()
+        for _ in range(3):
+            http_json(
+                "POST", fe.url, "/permutations",
+                {"request": dict(TRANSPOSE), "mode": "async"},
+            )
+        fe.close(drain_timeout=0.0)
+        from repro.serve import parse_prometheus_text
+
+        parsed = parse_prometheus_text(metrics.render(service=service))
+        stats = service.stats()
+        assert parsed["repro_requests_submitted_total"] == stats.submitted == 3
+        assert parsed["repro_requests_cancelled_total"] == stats.cancelled
+        assert parsed["repro_requests_completed_total"] == stats.completed
+        assert parsed["repro_service_up"] == 0.0

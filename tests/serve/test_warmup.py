@@ -1,0 +1,126 @@
+"""Tests for boot-time warmup and the socket-level load generator."""
+
+import json
+import threading
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.pdm.geometry import DiskGeometry
+from repro.serve import (
+    FaultPlan,
+    HttpFrontend,
+    PermutationRequest,
+    PermutationService,
+    load_warmup_spec,
+    run_loadgen,
+    synthetic_mix,
+    warm_service,
+)
+
+GEOMETRY = dict(N=2**10, B=2**3, D=2**2, M=2**7)
+
+
+@pytest.fixture
+def geometry():
+    return DiskGeometry(**GEOMETRY)
+
+
+class TestWarmupSpec:
+    def test_mix_spec(self, tmp_path):
+        spec = tmp_path / "warm.json"
+        spec.write_text(json.dumps({"mix": {"count": 6, "seed": 3}}))
+        requests = load_warmup_spec(spec)
+        assert requests == synthetic_mix(6, seed=3)
+
+    def test_request_list_spec(self, tmp_path):
+        spec = tmp_path / "warm.json"
+        spec.write_text(json.dumps([{"perm": "transpose"}, {"perm": "gray"}]))
+        requests = load_warmup_spec(spec)
+        assert [r.perm for r in requests] == ["transpose", "gray"]
+
+    def test_single_request_spec(self, tmp_path):
+        spec = tmp_path / "warm.json"
+        spec.write_text(json.dumps({"perm": "bit-reversal"}))
+        assert load_warmup_spec(spec) == [PermutationRequest(perm="bit-reversal")]
+
+    def test_bad_mix_rejected(self, tmp_path):
+        spec = tmp_path / "warm.json"
+        spec.write_text(json.dumps({"mix": [1, 2]}))
+        with pytest.raises(ValidationError):
+            load_warmup_spec(spec)
+
+
+class TestWarmService:
+    def test_warms_the_cache(self, geometry):
+        with PermutationService(geometry, workers=2) as service:
+            report = warm_service(service, synthetic_mix(6))
+            info = service.cache.info()
+        assert report.requests == report.succeeded == 6
+        assert report.failed == 0
+        assert report.cache_size == info.size > 0
+        assert "warmup: 6/6 ok" in report.summary()
+
+    def test_warm_keys_hit_for_real_traffic(self, geometry):
+        with PermutationService(geometry, workers=2) as service:
+            warm_service(service, synthetic_mix(6, distinct_seeds=1))
+            misses_after_warm = service.cache.info().misses
+            service.run(synthetic_mix(6, distinct_seeds=1))
+            info = service.cache.info()
+        assert info.misses == misses_after_warm  # all warm, zero new compiles
+
+    def test_failures_reported_not_raised(self, geometry):
+        faults = FaultPlan(seed=0, planner_failures=1.0)
+        with PermutationService(geometry, workers=1, faults=faults) as service:
+            report = warm_service(service, [PermutationRequest(perm="transpose")])
+        assert report.failed == 1
+        assert report.errors == {"InjectedFault": 1}
+
+
+class TestLoadgen:
+    def test_sync_burst_reconciles(self, geometry):
+        service = PermutationService(geometry, workers=4)
+        with HttpFrontend(service, own_service=True) as fe:
+            report = run_loadgen(fe.url, count=16, concurrency=4, mode="sync")
+        assert report["ok"] == 16
+        assert report["statuses"] == {"200": 16}
+        assert report["peak_concurrency"] == 4
+        assert report["reconciled"] is True
+        assert report["reconcile_problems"] == []
+        assert report["stats"]["submitted"] == 16
+
+    def test_async_mode(self, geometry):
+        service = PermutationService(geometry, workers=2)
+        with HttpFrontend(service, own_service=True) as fe:
+            report = run_loadgen(fe.url, count=6, concurrency=3, mode="async")
+        assert report["statuses"] == {"200": 6}
+        assert report["reconciled"] is True
+
+    def test_latency_stats_present(self, geometry):
+        service = PermutationService(geometry, workers=2)
+        with HttpFrontend(service, own_service=True) as fe:
+            report = run_loadgen(fe.url, count=4, concurrency=2)
+        lat = report["latency"]
+        assert 0 < lat["p50"] <= lat["max"]
+        assert lat["mean"] > 0
+
+    def test_overload_statuses_counted(self, geometry):
+        service = PermutationService(
+            geometry,
+            workers=1,
+            queue_capacity=1,
+            queue_policy="reject",
+            faults=FaultPlan(seed=0, slow_passes=1.0, slow_seconds=0.03),
+        )
+        with HttpFrontend(service, own_service=True) as fe:
+            report = run_loadgen(fe.url, count=12, concurrency=6, mode="sync")
+        statuses = report["statuses"]
+        assert sum(statuses.values()) == 12
+        # Even with 429s in the mix the books must balance exactly.
+        assert report["reconciled"] is True
+        stats = report["stats"]
+        assert stats["admitted"] + stats["shed"] == stats["submitted"] == 12
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValueError):
+            run_loadgen("http://127.0.0.1:1", mode="nope")

@@ -190,3 +190,107 @@ class TestFactor:
         assert main(["factor", "--perm", "random-mrc"]) == 0
         out = capsys.readouterr().out
         assert "1 passes" in out or "merged one-pass factors (1" in out
+
+
+class TestServeHttp:
+    GEO = ["--N", "1024", "--B", "8", "--D", "4", "--M", "128"]
+
+    def _boot(self, tmp_path, extra=()):
+        """Start `serve --http` on an ephemeral port in a thread; return
+        (frontend, stop_event, thread)."""
+        import threading
+
+        from repro.cli import build_parser, serve_http
+
+        args = build_parser().parse_args(
+            ["serve", "--http", "127.0.0.1:0", "--workers", "2",
+             "--stats-json", str(tmp_path / "stats.json"), *self.GEO, *extra]
+        )
+        stop = threading.Event()
+        ready, box = threading.Event(), {}
+
+        def on_ready(frontend):
+            box["frontend"] = frontend
+            ready.set()
+
+        thread = threading.Thread(
+            target=serve_http, args=(args, stop), kwargs={"ready": on_ready}
+        )
+        thread.start()
+        assert ready.wait(10.0)
+        return box["frontend"], stop, thread
+
+    def test_serves_requests_and_drains_on_shutdown(self, capsys, tmp_path):
+        import json
+
+        from repro.serve.loadgen import http_json
+
+        frontend, stop, thread = self._boot(tmp_path)
+        try:
+            status, body = http_json(
+                "POST", frontend.url, "/permutations", {"perm": "transpose"}
+            )
+            assert status == 200 and body["ok"] is True
+            status, _ = http_json("GET", frontend.url, "/healthz")
+            assert status == 200
+        finally:
+            stop.set()
+            thread.join(15.0)
+        assert not thread.is_alive()
+        out = capsys.readouterr().out
+        assert "listening on http://127.0.0.1:" in out
+        assert "shutting down" in out
+        stats = json.loads((tmp_path / "stats.json").read_text())
+        assert stats["submitted"] == 1
+        assert stats["closed"] is True
+
+    def test_warmup_spec_runs_at_boot(self, capsys, tmp_path):
+        import json
+
+        from repro.serve.loadgen import http_json
+
+        spec = tmp_path / "warm.json"
+        spec.write_text(json.dumps({"mix": {"count": 4}}))
+        frontend, stop, thread = self._boot(
+            tmp_path, extra=["--warmup", str(spec)]
+        )
+        try:
+            _, stats = http_json("GET", frontend.url, "/stats")
+            assert stats["submitted"] == 4  # warmup went through the service
+            assert stats["cache"]["size"] > 0
+        finally:
+            stop.set()
+            thread.join(15.0)
+        assert "warmup: 4/4 ok" in capsys.readouterr().out
+
+    def test_loadgen_cli_end_to_end(self, capsys, tmp_path):
+        import json
+
+        frontend, stop, thread = self._boot(tmp_path)
+        try:
+            code = main(
+                ["loadgen", "--url", frontend.url, "--count", "8",
+                 "--concurrency", "4", "--json", str(tmp_path / "bench.json")]
+            )
+        finally:
+            stop.set()
+            thread.join(15.0)
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "peak concurrency 4" in out
+        assert "/metrics reconciles exactly against /stats" in out
+        report = json.loads((tmp_path / "bench.json").read_text())
+        assert report["statuses"] == {"200": 8}
+        assert report["reconciled"] is True
+
+    def test_bad_http_address_is_clean_error(self, capsys):
+        assert main(["serve", "--http", "nonsense", *self.GEO]) == 2
+        assert "--http wants HOST:PORT" in capsys.readouterr().err
+
+    def test_missing_warmup_file_is_clean_error(self, capsys, tmp_path):
+        code = main(
+            ["serve", "--http", "127.0.0.1:0",
+             "--warmup", str(tmp_path / "nope.json"), *self.GEO]
+        )
+        assert code == 2
+        assert "cannot load" in capsys.readouterr().err
