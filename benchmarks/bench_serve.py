@@ -41,7 +41,7 @@ from repro.serve import (
     FaultPlan,
     PermutationService,
     RetryPolicy,
-    synthetic_mix,
+    mix_trace,
 )
 
 from benchmarks.conftest import RESULTS_DIR, SEED, write_result
@@ -78,7 +78,7 @@ def _overload_phase():
     """
     from dataclasses import replace
 
-    requests = synthetic_mix(MIX_COUNT, distinct_seeds=2, verify=False)
+    requests = mix_trace(MIX_COUNT, distinct_seeds=2, verify=False).requests()
     # the first request carries a timeout smaller than one injected
     # pass sleep: admitted for sure (empty queue), expires for sure
     requests[0] = replace(requests[0], timeout=0.001)
@@ -112,9 +112,9 @@ def _overload_phase():
 
 
 def test_serve_warm_cache_throughput(benchmark):
-    requests = synthetic_mix(
+    requests = mix_trace(
         MIX_COUNT, distinct_seeds=2, verify=False, capture_portion=True
-    )
+    ).requests()
 
     # -- sequential runner: one request at a time, no cache, cold plans
     t0 = time.perf_counter()

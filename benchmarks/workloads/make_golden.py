@@ -1,0 +1,102 @@
+"""Regenerate the committed golden workload traces.
+
+The four scenarios exercise the serving stack's distinct failure
+surfaces: ``uniform`` is the calibration baseline, ``zipf-hot-key``
+concentrates traffic on a hot head (cache policy), ``bursty-overload``
+lands whole bursts at once (admission control), and ``mixed-chaos``
+combines skew with geometry diversity (the chaos itself is a *replay*
+config, not part of the trace -- traces are offered load only).
+
+Every trace is byte-reproducible from the spec embedded in its own
+header; ``tests/serve/test_workload.py`` regenerates each committed
+file from that spec and fails on any byte of drift.  So: edit the
+specs HERE, rerun ``python benchmarks/workloads/make_golden.py``, and
+commit both this file and the traces together -- never hand-edit a
+``.jsonl``.
+"""
+
+import pathlib
+import sys
+
+from repro.serve.workload import WorkloadSpec, generate_trace, geometry_variants
+from repro.pdm.geometry import DiskGeometry
+
+HERE = pathlib.Path(__file__).parent
+
+#: One shared seed: golden traces change only when a spec changes.
+SEED = 0x5EED
+
+#: Small enough that a full replay is a sub-second affair in CI, big
+#: enough that plans are real multi-pass work.
+GEOMETRY = DiskGeometry(N=2**10, B=2**3, D=2**2, M=2**7)
+
+_G = {"N": GEOMETRY.N, "B": GEOMETRY.B, "D": GEOMETRY.D, "M": GEOMETRY.M}
+
+SPECS = [
+    WorkloadSpec(
+        name="uniform",
+        count=48,
+        seed=SEED,
+        arrival="uniform",
+        rate=96.0,
+        popularity="uniform",
+        key_space=12,
+        geometry=_G,
+    ),
+    WorkloadSpec(
+        name="zipf-hot-key",
+        count=64,
+        seed=SEED,
+        arrival="poisson",
+        rate=128.0,
+        popularity="zipf",
+        zipf_alpha=1.5,
+        key_space=16,
+        geometry=_G,
+    ),
+    WorkloadSpec(
+        name="bursty-overload",
+        count=64,
+        seed=SEED,
+        arrival="bursty",
+        burst_size=16,
+        burst_gap=0.15,
+        popularity="uniform",
+        key_space=8,
+        geometry=_G,
+    ),
+    WorkloadSpec(
+        name="mixed-chaos",
+        count=48,
+        seed=SEED,
+        arrival="poisson",
+        rate=96.0,
+        popularity="zipf",
+        zipf_alpha=1.2,
+        key_space=10,
+        geometry=_G,
+        geometries=tuple(
+            {"N": v.N, "B": v.B, "D": v.D, "M": v.M}
+            for v in geometry_variants(GEOMETRY, 2)
+        ),
+    ),
+]
+
+
+def main() -> int:
+    changed = 0
+    for spec in SPECS:
+        path = HERE / f"{spec.name}.jsonl"
+        text = generate_trace(spec).dumps()
+        if not path.exists() or path.read_text() != text:
+            path.write_text(text)
+            changed += 1
+            print(f"wrote {path}")
+        else:
+            print(f"unchanged {path}")
+    print(f"{changed} of {len(SPECS)} traces (re)written")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

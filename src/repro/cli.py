@@ -6,8 +6,14 @@ Subcommands
 ``bounds``  every closed-form bound for a geometry and rank gamma
 ``run``     perform a named permutation on the simulator and report
 ``serve``   run a request mix concurrently on a worker pool, or --http
-            to expose the pool as an HTTP/JSON API with /metrics
+            to expose the pool as an HTTP/JSON API with /metrics;
+            --record captures the traffic as a trace, --replay replays
+            one with faithful arrival timing
 ``loadgen`` drive a running --http server with a concurrent workload
+            or replay a workload trace over real sockets (--trace)
+``workload`` generate (gen) or inspect (info) workload trace files:
+            Zipfian key popularity, Poisson/bursty arrivals, geometry
+            diversity, all byte-reproducible from (spec, seed)
 ``detect``  run-time BMMC detection on a named permutation's vector
 ``factor``  show the Section 5 factorization of a characteristic matrix
 
@@ -18,7 +24,9 @@ python -m repro run --perm bit-reversal --N 4096 --B 8 --D 4 --M 128
 python -m repro run --perm random-bmmc --rank-gamma 2 --method general
 python -m repro serve --workers 8 --count 32 --repeat 2
 python -m repro serve --http 127.0.0.1:8080 --workers 8 --queue-capacity 64
-python -m repro loadgen --url http://127.0.0.1:8080 --count 64 --concurrency 8
+python -m repro workload gen --out zipf.jsonl --count 64 --popularity zipf
+python -m repro serve --replay zipf.jsonl --workers 8
+python -m repro loadgen --url http://127.0.0.1:8080 --trace zipf.jsonl
 python -m repro detect --perm gray --tamper
 python -m repro factor --seed 7 --N 4096 --B 8 --D 4 --M 128
 """
@@ -213,12 +221,18 @@ def serve_http(args, shutdown_event=None, ready=None) -> int:
         HttpFrontend,
         PermutationService,
         ServiceMetrics,
+        TraceRecorder,
         load_warmup_spec,
         warm_service,
     )
 
     g = _geometry(args)
     faults, retry, breaker = _serve_policies(args)
+    recorder = (
+        TraceRecorder(name=_trace_name(args.record), geometry=g)
+        if args.record
+        else None
+    )
     host, _, port = args.http.rpartition(":")
     if not host or not port.isdigit():
         print(f"error: --http wants HOST:PORT, got {args.http!r}", file=sys.stderr)
@@ -244,6 +258,7 @@ def serve_http(args, shutdown_event=None, ready=None) -> int:
         breaker=breaker,
         faults=faults,
         metrics=ServiceMetrics(),
+        recorder=recorder,
     )
     if warmup:
         print(warm_service(service, warmup).summary())
@@ -285,7 +300,26 @@ def serve_http(args, shutdown_event=None, ready=None) -> int:
             with open(args.stats_json, "w") as handle:
                 json.dump(asdict(stats), handle, indent=2, sort_keys=True)
             print(f"stats written to {args.stats_json}")
+        if recorder is not None:
+            _save_recording(recorder, args.record)
     return 0
+
+
+def _trace_name(path: str) -> str:
+    import os
+
+    stem = os.path.splitext(os.path.basename(path))[0]
+    return stem or "recorded"
+
+
+def _save_recording(recorder, path: str) -> None:
+    trace = recorder.trace()
+    trace.save(path)
+    skipped = f" ({recorder.skipped} unserializable skipped)" if recorder.skipped else ""
+    print(
+        f"recorded {len(trace)} requests over {trace.duration:.3f}s "
+        f"to {path}{skipped}"
+    )
 
 
 def cmd_serve(args) -> int:
@@ -302,41 +336,67 @@ def cmd_serve(args) -> int:
     )
     from repro.serve import (
         PermutationService,
+        TraceRecorder,
+        WorkloadTrace,
         load_requests,
+        replay_trace,
         run_sequential,
         synthetic_mix,
     )
 
     if args.http:
         return serve_http(args)
-
-    g = _geometry(args)
-    if args.requests:
-        try:
-            requests = load_requests(args.requests)
-        except (OSError, ValueError) as exc:  # missing file, malformed JSON
-            print(f"error: cannot load {args.requests}: {exc}", file=sys.stderr)
-            return 2
-    else:
-        requests = synthetic_mix(
-            args.count,
-            seed=args.seed,
-            distinct_seeds=args.distinct_seeds,
-            engine=args.engine,
-            backend=args.backend,
-            optimize=not args.no_optimize,
-        )
-    requests = requests * max(1, args.repeat)
-    if not requests:
-        print("no requests to serve", file=sys.stderr)
+    if args.replay and args.requests:
+        print("error: --replay and --requests are mutually exclusive", file=sys.stderr)
         return 2
 
+    trace = None
+    requests = []
+    if args.replay:
+        try:
+            trace = WorkloadTrace.load(args.replay)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot load {args.replay}: {exc}", file=sys.stderr)
+            return 2
+        g = trace.geometry or _geometry(args)
+        print(trace.describe())
+    else:
+        g = _geometry(args)
+        if args.requests:
+            try:
+                requests = load_requests(args.requests)
+            except (OSError, ValueError) as exc:  # missing file, malformed JSON
+                print(f"error: cannot load {args.requests}: {exc}", file=sys.stderr)
+                return 2
+        else:
+            requests = synthetic_mix(
+                args.count,
+                seed=args.seed,
+                distinct_seeds=args.distinct_seeds,
+                engine=args.engine,
+                backend=args.backend,
+                optimize=not args.no_optimize,
+            )
+        requests = requests * max(1, args.repeat)
+        if not requests:
+            print("no requests to serve", file=sys.stderr)
+            return 2
+
     faults, retry, breaker = _serve_policies(args)
+    recorder = (
+        TraceRecorder(name=_trace_name(args.record), geometry=g)
+        if args.record
+        else None
+    )
 
     t0 = time.perf_counter()
     stats = None
-    if args.workers <= 1 and not (
-        faults or retry or breaker or args.queue_capacity or args.timeout
+    replay_report = None
+    if (
+        trace is None
+        and recorder is None
+        and args.workers <= 1
+        and not (faults or retry or breaker or args.queue_capacity or args.timeout)
     ):
         results = run_sequential(g, requests, backend=args.backend)
         cache_info = None
@@ -353,11 +413,23 @@ def cmd_serve(args) -> int:
             retry=retry,
             breaker=breaker,
             faults=faults,
+            recorder=recorder,
         ) as service:
-            results = service.run(requests)
+            if trace is not None:
+                replay_report = replay_trace(
+                    service,
+                    trace,
+                    as_fast_as_possible=args.as_fast_as_possible,
+                    capture=True,
+                )
+                results = replay_report.results
+            else:
+                results = service.run(requests)
             cache_info = service.cache_info()
             stats = service.stats()
     elapsed = time.perf_counter() - t0
+    if recorder is not None:
+        _save_recording(recorder, args.record)
 
     # Under chaos (or explicit overload/deadline knobs) these failures
     # are the point of the exercise, not a defect: they don't gate the
@@ -395,6 +467,8 @@ def cmd_serve(args) -> int:
             f"{stats.deadline_exceeded} deadline-exceeded, "
             f"{stats.cancelled} cancelled"
         )
+    if replay_report is not None:
+        print(replay_report.summary())
     if cache_info is not None:
         print(
             f"plan cache: {cache_info.hits} hits / {cache_info.misses} misses "
@@ -418,8 +492,16 @@ def cmd_serve(args) -> int:
 def cmd_loadgen(args) -> int:
     import json
 
-    from repro.serve import run_loadgen
+    from repro.serve import WorkloadTrace, run_loadgen
 
+    trace = None
+    if args.trace:
+        try:
+            trace = WorkloadTrace.load(args.trace)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot load {args.trace}: {exc}", file=sys.stderr)
+            return 2
+        print(trace.describe())
     report = run_loadgen(
         args.url,
         count=args.count,
@@ -430,11 +512,15 @@ def cmd_loadgen(args) -> int:
         wait_timeout=args.wait_timeout,
         timeout=args.request_timeout,
         check_reconcile=not args.no_reconcile,
+        trace=trace,
+        as_fast_as_possible=args.as_fast_as_possible,
     )
     lat = report["latency"]
     statuses = ", ".join(f"{k}: {v}" for k, v in report["statuses"].items())
+    pacing = "paced replay" if report["paced"] else "burst"
     print(
-        f"{report['count']} requests ({report['mode']}) against {report['url']} "
+        f"{report['count']} requests ({report['mode']}, {pacing}, "
+        f"trace {report['trace']!r}) against {report['url']} "
         f"with {report['concurrency']} clients "
         f"(peak concurrency {report['peak_concurrency']})"
     )
@@ -459,6 +545,64 @@ def cmd_loadgen(args) -> int:
             for problem in report["reconcile_problems"]:
                 print(f"    {problem}", file=sys.stderr)
             return 1
+    return 0
+
+
+def cmd_workload(args) -> int:
+    from repro.serve.workload import (
+        WorkloadSpec,
+        WorkloadTrace,
+        generate_trace,
+        geometry_variants,
+    )
+
+    if args.workload_command == "info":
+        try:
+            trace = WorkloadTrace.load(args.trace)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot load {args.trace}: {exc}", file=sys.stderr)
+            return 2
+        print(trace.describe())
+        if trace.spec is not None:
+            print("generator spec:")
+            for key, value in sorted(trace.spec.items()):
+                print(f"  {key}: {value}")
+        else:
+            print("generator spec: none (recorded trace)")
+        return 0
+
+    g = _geometry(args)
+    geometries = ()
+    if args.geometry_diversity > 1:
+        geometries = tuple(
+            {"N": v.N, "B": v.B, "D": v.D, "M": v.M}
+            for v in geometry_variants(g, args.geometry_diversity)
+        )
+    try:
+        spec = WorkloadSpec(
+            count=args.count,
+            seed=args.seed,
+            arrival=args.arrival,
+            rate=args.rate,
+            burst_size=args.burst_size,
+            burst_gap=args.burst_gap,
+            popularity=args.popularity,
+            zipf_alpha=args.zipf_alpha,
+            key_space=args.key_space,
+            geometry={"N": g.N, "B": g.B, "D": g.D, "M": g.M},
+            geometries=geometries,
+            engine=args.engine,
+            backend=args.backend,
+            timeout=args.timeout,
+            name=_trace_name(args.out),
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    trace = generate_trace(spec)
+    trace.save(args.out)
+    print(trace.describe())
+    print(f"trace written to {args.out}")
     return 0
 
 
@@ -744,6 +888,27 @@ def build_parser() -> argparse.ArgumentParser:
         default=5.0,
         help="seconds an open circuit waits before its half-open probe",
     )
+    p_serve.add_argument(
+        "--record",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help="record every submitted request (offered load, pre-admission) "
+        "as a replayable workload trace; works in batch and HTTP mode",
+    )
+    p_serve.add_argument(
+        "--replay",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help="replay a workload trace through the pool with faithful "
+        "arrival timing (mutually exclusive with --requests)",
+    )
+    p_serve.add_argument(
+        "--as-fast-as-possible",
+        action="store_true",
+        help="replay: ignore recorded arrival offsets, submit back to back",
+    )
     p_serve.set_defaults(func=cmd_serve)
 
     p_load = sub.add_parser(
@@ -791,7 +956,96 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip the /metrics vs /stats reconciliation check",
     )
+    p_load.add_argument(
+        "--trace",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help="replay a workload trace over HTTP instead of the synthetic "
+        "mix: each POST fires at its recorded arrival offset",
+    )
+    p_load.add_argument(
+        "--as-fast-as-possible",
+        action="store_true",
+        help="with --trace: ignore arrival offsets, fire back to back",
+    )
     p_load.set_defaults(func=cmd_loadgen)
+
+    p_workload = sub.add_parser(
+        "workload",
+        help="generate and inspect workload trace files",
+        description="Workload traces are versioned JSONL files (header + "
+        "one timed request per line) consumed by serve --replay and "
+        "loadgen --trace.  'gen' expands a deterministic spec -- Zipf or "
+        "uniform key popularity over a catalog of distinct plan keys, "
+        "uniform/Poisson/bursty arrivals -- into a trace that is "
+        "byte-reproducible from (spec, seed); 'info' summarizes a trace "
+        "file and its embedded spec.",
+    )
+    sub_workload = p_workload.add_subparsers(dest="workload_command", required=True)
+
+    p_wgen = sub_workload.add_parser("gen", help="generate a trace from a spec")
+    _add_geometry_args(p_wgen)
+    p_wgen.add_argument("--out", type=str, required=True, help="trace file to write")
+    p_wgen.add_argument("--count", type=int, default=32, help="number of events")
+    p_wgen.add_argument("--seed", type=int, default=0)
+    p_wgen.add_argument(
+        "--arrival",
+        choices=["uniform", "poisson", "bursty"],
+        default="uniform",
+        help="arrival process shaping the offsets",
+    )
+    p_wgen.add_argument(
+        "--rate", type=float, default=64.0, help="arrivals per second (uniform/poisson)"
+    )
+    p_wgen.add_argument(
+        "--burst-size", type=int, default=8, help="bursty: events per burst"
+    )
+    p_wgen.add_argument(
+        "--burst-gap", type=float, default=0.25, help="bursty: seconds between bursts"
+    )
+    p_wgen.add_argument(
+        "--popularity",
+        choices=["uniform", "zipf"],
+        default="uniform",
+        help="key popularity over the catalog of distinct request keys",
+    )
+    p_wgen.add_argument(
+        "--zipf-alpha",
+        type=float,
+        default=1.1,
+        help="zipf skew exponent (higher = hotter head)",
+    )
+    p_wgen.add_argument(
+        "--key-space",
+        type=int,
+        default=12,
+        help="number of distinct request keys in the catalog",
+    )
+    p_wgen.add_argument(
+        "--geometry-diversity",
+        type=int,
+        default=1,
+        help="spread keys over this many derived geometries (halving N)",
+    )
+    p_wgen.add_argument("--engine", choices=list(ENGINES), default="fast")
+    p_wgen.add_argument(
+        "--backend",
+        choices=list(BACKENDS),
+        default=None,
+        help="backend override stamped on every request",
+    )
+    p_wgen.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-request deadline stamped on every request",
+    )
+    p_wgen.set_defaults(func=cmd_workload)
+
+    p_winfo = sub_workload.add_parser("info", help="summarize a trace file")
+    p_winfo.add_argument("trace", type=str, help="trace file to inspect")
+    p_winfo.set_defaults(func=cmd_workload)
 
     p_detect = sub.add_parser("detect", help="run-time BMMC detection")
     _add_geometry_args(p_detect)

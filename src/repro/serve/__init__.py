@@ -26,6 +26,9 @@ Layout:
   spec.
 * :mod:`repro.serve.loadgen` -- the socket-level load generator and
   the ``/stats`` vs ``/metrics`` reconciliation check.
+* :mod:`repro.serve.workload` -- workload traces: the versioned JSONL
+  record/replay format, the deterministic skewed/bursty generator, and
+  the replay oracle.
 
 Quick start::
 
@@ -69,6 +72,18 @@ from repro.serve.robust import (
 )
 from repro.serve.service import PermutationService, ServiceStats
 from repro.serve.warmup import WarmupReport, load_warmup_spec, warm_service
+from repro.serve.workload import (
+    ReplayReport,
+    TraceEvent,
+    TraceRecorder,
+    WorkloadSpec,
+    WorkloadTrace,
+    generate_trace,
+    geometry_variants,
+    mix_trace,
+    reconcile_replay,
+    replay_trace,
+)
 
 __all__ = [
     "PERM_CHOICES",
@@ -78,6 +93,7 @@ __all__ = [
     "RequestTrace",
     "ServiceResult",
     "ServiceStats",
+    "ReplayReport",
     "RetryPolicy",
     "CircuitBreaker",
     "GuardedCache",
@@ -86,15 +102,24 @@ __all__ = [
     "HttpFrontend",
     "MetricsRegistry",
     "ServiceMetrics",
+    "TraceEvent",
+    "TraceRecorder",
     "WarmupReport",
+    "WorkloadSpec",
+    "WorkloadTrace",
     "chaos_plan",
+    "generate_trace",
+    "geometry_variants",
     "is_transient",
     "make_permutation",
     "run_sequential",
     "synthetic_mix",
     "load_requests",
     "load_warmup_spec",
+    "mix_trace",
     "parse_prometheus_text",
+    "reconcile_replay",
+    "replay_trace",
     "request_from_dict",
     "request_to_dict",
     "run_loadgen",

@@ -585,6 +585,7 @@ class HttpFrontend:
             "drain_timeout": self.drain_timeout,
             "cache": type(service.cache).__name__ if service.cache else None,
             "faults_active": bool(service.faults and service.faults.active),
+            "recording": service.recorder is not None,
             "routes": {
                 path: sorted(methods)
                 for path, methods in sorted(self.ROUTES.items())

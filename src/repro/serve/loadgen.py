@@ -6,13 +6,17 @@ generator speaks to a running server the way a real client fleet would
 -- TCP connect, JSON over HTTP, concurrent workers, and no shared state
 with the server beyond the wire.
 
-The workload is the standard deterministic mix
-(:func:`~repro.serve.synthetic_mix`) serialized through
-:func:`~repro.serve.requests.request_to_dict`, issued *open-loop* by a
-pool of ``concurrency`` workers that rendezvous on a barrier before the
-first request -- so a run with ``concurrency=8`` provably has 8
-simultaneous in-flight clients (``peak_concurrency`` in the report
-measures it, the HTTP bench asserts it).
+The workload is either the standard deterministic mix (built by the
+shared :func:`~repro.serve.workload.mix_trace` builder) or any
+:class:`~repro.serve.workload.WorkloadTrace` -- a recorded session, a
+generated skewed/bursty scenario, a committed golden trace.  Burst
+mode issues the whole load *open-loop* from a pool of ``concurrency``
+workers that rendezvous on a barrier before the first request -- so a
+run with ``concurrency=8`` provably has 8 simultaneous in-flight
+clients (``peak_concurrency`` in the report measures it, the HTTP
+bench asserts it).  Trace replay instead fires each POST at its
+recorded arrival offset (faithful timing), or back to back with
+``as_fast_as_possible``.
 
 After the burst drains, :func:`reconcile` scrapes ``/stats`` and
 ``/metrics`` from the same server and checks them against each other
@@ -32,7 +36,8 @@ import urllib.request
 from concurrent.futures import ThreadPoolExecutor
 
 from repro.serve.metrics import parse_prometheus_text
-from repro.serve.requests import request_to_dict, synthetic_mix
+from repro.serve.requests import request_to_dict
+from repro.serve.workload import mix_trace
 
 __all__ = ["http_json", "http_text", "reconcile", "run_loadgen"]
 
@@ -158,27 +163,38 @@ def run_loadgen(
     poll_interval: float = 0.01,
     timeout: float = 60.0,
     check_reconcile: bool = True,
+    trace=None,
+    as_fast_as_possible: bool = False,
 ) -> dict:
-    """Fire ``count`` requests at ``url`` from ``concurrency`` workers.
+    """Fire a workload at ``url`` from ``concurrency`` workers.
 
-    ``mode="sync"`` posts blocking requests (a 202 answer -- a
-    ``wait_timeout`` degrade -- is polled to completion); ``"async"``
+    ``trace=None`` sends ``count`` requests of the standard mix as one
+    barrier-synchronized burst; a :class:`~repro.serve.workload
+    .WorkloadTrace` replays that trace over real sockets instead --
+    each POST at its recorded arrival offset (``as_fast_as_possible``
+    skips the pacing; a trace whose offsets are all zero is effectively
+    a burst).  ``mode="sync"`` posts blocking requests (a 202 answer --
+    a ``wait_timeout`` degrade -- is polled to completion); ``"async"``
     uses submit-then-poll for every request.  Returns a JSON-ready
     report: status histogram, latency percentiles, ``peak_concurrency``,
     the final ``/stats`` snapshot, and the reconciliation verdict.
     """
     if mode not in ("sync", "async"):
         raise ValueError(f'mode must be "sync" or "async", got {mode!r}')
-    payloads = [
-        request_to_dict(request)
-        for request in synthetic_mix(
-            count, seed=seed, distinct_seeds=distinct_seeds
-        )
+    if trace is None:
+        trace = mix_trace(count, seed=seed, distinct_seeds=distinct_seeds)
+    events = [
+        (event.at, request_to_dict(event.request)) for event in trace.events
     ]
+    count = len(events)
+    paced = not as_fast_as_possible and trace.duration > 0
     workers = max(1, min(concurrency, count))
-    barrier = threading.Barrier(workers)
+    # The rendezvous barrier proves burst concurrency; under paced
+    # replay the recorded arrival times rule instead.
+    barrier = threading.Barrier(workers) if not paced else None
     tracker = _Tracker()
     first_seen = threading.Event()
+    clock0 = time.monotonic()
 
     def poll(request_id: str) -> tuple[int, dict]:
         deadline = time.monotonic() + timeout
@@ -190,9 +206,14 @@ def run_loadgen(
                 return status, body
             time.sleep(poll_interval)
 
-    def one(payload: dict) -> dict:
+    def one(item: tuple) -> dict:
+        at, payload = item
+        if paced:
+            delay = at - (time.monotonic() - clock0)
+            if delay > 0:
+                time.sleep(delay)
         with tracker:
-            if not first_seen.is_set():
+            if barrier is not None and not first_seen.is_set():
                 # Rendezvous inside the tracker: every worker counts as
                 # in-flight while holding at the barrier, so the burst
                 # provably opens with `workers` simultaneous clients.
@@ -230,7 +251,7 @@ def run_loadgen(
 
     t0 = time.perf_counter()
     with ThreadPoolExecutor(max_workers=workers) as pool:
-        outcomes = list(pool.map(one, payloads))
+        outcomes = list(pool.map(one, events))
     wall = time.perf_counter() - t0
 
     statuses: dict[str, int] = {}
@@ -246,6 +267,8 @@ def run_loadgen(
         "url": url,
         "mode": mode,
         "count": count,
+        "trace": trace.name,
+        "paced": paced,
         "concurrency": workers,
         "peak_concurrency": tracker.peak,
         "wall_seconds": wall,

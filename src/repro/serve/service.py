@@ -151,6 +151,7 @@ class PermutationService:
         breaker=None,
         faults=None,
         metrics=None,
+        recorder=None,
     ) -> None:
         self.geometry = geometry
         self.workers = max(1, int(workers))
@@ -188,6 +189,12 @@ class PermutationService:
         # the two always reconcile exactly.  This hook only feeds the
         # latency / stage / pass-count histograms.
         self.metrics = metrics
+        # ``recorder`` is any object with record(request) -- a
+        # :class:`~repro.serve.workload.TraceRecorder`.  Every submit is
+        # recorded *before* admission control, so a recorded trace is
+        # the offered load (shed requests included) and replaying it
+        # re-offers the same traffic.
+        self.recorder = recorder
 
         self._local = threading.local()
         self._lock = threading.Lock()
@@ -349,6 +356,8 @@ class PermutationService:
         """
         future: Future = Future()
         evicted: _Item | None = None
+        if self.recorder is not None:
+            self.recorder.record(request)
         with self._lock:
             if self._closed:
                 raise ServiceClosedError("service is closed")
