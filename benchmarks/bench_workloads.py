@@ -16,7 +16,10 @@ twice:
    *characteristic* configuration: ``zipf-hot-key`` through a cache
    far smaller than its key space (eviction policy under skew),
    ``bursty-overload`` through an undersized bounded queue (admission
-   control), ``mixed-chaos`` under injected faults with retries.
+   control), ``mixed-chaos`` under injected faults with retries,
+   ``duplicate-heavy`` through a coalescing service (single-flight:
+   ``coalesced > 0``, digests byte-identical to the oracle's, and a
+   >= 2x throughput floor over the same service with coalescing off).
    Shed sets and eviction victims depend on worker interleaving, so
    this pass asserts *invariants* (exact counter reconciliation,
    ``admitted + shed == submitted``, scenario-specific floors), not
@@ -47,7 +50,10 @@ from benchmarks.conftest import RESULTS_DIR, SEED, write_result
 
 WORKLOADS_DIR = pathlib.Path(__file__).parent / "workloads"
 
-SCENARIOS = ("uniform", "zipf-hot-key", "bursty-overload", "mixed-chaos")
+SCENARIOS = (
+    "uniform", "zipf-hot-key", "bursty-overload", "mixed-chaos",
+    "duplicate-heavy",
+)
 
 TRAJECTORY_SCHEMA = "repro-bench-trajectory"
 TRAJECTORY_VERSION = 1
@@ -83,6 +89,13 @@ def _scenario_service(name, trace):
                 slow_seconds=0.001,
             ),
             retry=RetryPolicy(attempts=3, base=0.0005, seed=SEED),
+        )
+    if name == "duplicate-heavy":
+        # few workers so the queue backs up and duplicates reliably
+        # find their leader still queued or running
+        return PermutationService(
+            g, workers=2, cache_maxsize=ORACLE_CACHE, num_shards=4,
+            coalesce=True,
         )
     return PermutationService(g, workers=4)
 
@@ -129,7 +142,7 @@ def _oracle_pass(trace):
     return first
 
 
-def _scenario_pass(name, trace):
+def _scenario_pass(name, trace, oracle=None):
     metrics = ServiceMetrics()
     with _scenario_service(name, trace) as service:
         report = replay_trace(service, trace, as_fast_as_possible=True)
@@ -138,7 +151,9 @@ def _scenario_pass(name, trace):
     s = report.stats
     assert s.submitted == len(trace)
     assert s.admitted + s.shed == s.submitted
-    if name == "zipf-hot-key":
+    if name == "duplicate-heavy":
+        _check_duplicate_heavy(trace, report, oracle)
+    elif name == "zipf-hot-key":
         # the skewed head must keep a 4-entry cache useful; PYTHONHASHSEED
         # moves shard assignment, so the floor is deliberately loose
         assert report.cache.evictions > 0, "cache never filled"
@@ -152,6 +167,47 @@ def _scenario_pass(name, trace):
     else:
         assert report.failed == 0
     return report
+
+
+def _check_duplicate_heavy(trace, report, oracle):
+    """Single-flight under a duplicate-heavy trace: fewer executions,
+    identical bytes, and a real throughput multiplier."""
+    s = report.stats
+    assert report.failed == 0, f"{report.failed} failures under coalescing"
+    assert s.coalesced > 0, "duplicate-heavy trace produced no coalescing"
+    assert s.coalesced_in_flight == 0, "followers still attached after drain"
+    assert s.admitted == s.completed, "drain did not reconcile"
+    # Coalesced or not, every digest must match the coalescing-off
+    # oracle replay byte for byte -- followers share the leader's bytes.
+    assert report.digests == oracle.digests, (
+        "coalesced replay diverged from the sequential-reference digests"
+    )
+    executed = sum(1 for r in report.results if not r.coalesced)
+    assert executed + s.coalesced == len(trace)
+    # The multiplier the scenario exists for: the same trace through
+    # the same service shape with coalescing off.
+    with PermutationService(
+        trace.geometry, workers=2, cache_maxsize=ORACLE_CACHE, num_shards=4,
+    ) as baseline_service:
+        baseline = replay_trace(
+            baseline_service, trace, as_fast_as_possible=True
+        )
+    assert baseline.stats.coalesced == 0
+    assert baseline.failed == 0
+    speedup = (
+        report.throughput_rps / baseline.throughput_rps
+        if baseline.throughput_rps > 0
+        else float("inf")
+    )
+    assert speedup >= 2.0, (
+        f"coalescing gave only {speedup:.2f}x over coalescing-off "
+        f"({report.throughput_rps:.1f} vs {baseline.throughput_rps:.1f} rps)"
+    )
+    report.extra_summary = {
+        "executions": executed,
+        "speedup_vs_no_coalesce": speedup,
+        "baseline_throughput_rps": baseline.throughput_rps,
+    }
 
 
 def _append_trajectory(summaries):
@@ -193,11 +249,12 @@ def test_workload_scenarios():
         trace = WorkloadTrace.load(WORKLOADS_DIR / f"{name}.jsonl")
         assert trace.name == name
         oracle = _oracle_pass(trace)
-        report = _scenario_pass(name, trace)
+        report = _scenario_pass(name, trace, oracle=oracle)
         summary = report.summary_dict()
         # the digest that must never drift is the oracle's: the scenario
         # pass sheds/fails requests, so its digest set varies by timing
         summary["oracle_digest"] = oracle.workload_digest
+        summary.update(getattr(report, "extra_summary", {}))
         summaries[name] = summary
         rows.append(
             [
@@ -210,6 +267,7 @@ def test_workload_scenarios():
                 summary["shed"],
                 summary["deadline_exceeded"],
                 summary["retries"],
+                summary["coalesced"],
             ]
         )
 
@@ -217,7 +275,7 @@ def test_workload_scenarios():
         "BENCH_workloads",
         "Golden workload traces: scenario replay characteristics",
         ["scenario", "events", "req/s", "p50 ms", "p99 ms", "hit rate",
-         "shed", "deadline", "retries"],
+         "shed", "deadline", "retries", "coalesced"],
         rows,
     )
     print()

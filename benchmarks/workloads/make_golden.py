@@ -1,11 +1,13 @@
 """Regenerate the committed golden workload traces.
 
-The four scenarios exercise the serving stack's distinct failure
+The five scenarios exercise the serving stack's distinct failure
 surfaces: ``uniform`` is the calibration baseline, ``zipf-hot-key``
 concentrates traffic on a hot head (cache policy), ``bursty-overload``
-lands whole bursts at once (admission control), and ``mixed-chaos``
+lands whole bursts at once (admission control), ``mixed-chaos``
 combines skew with geometry diversity (the chaos itself is a *replay*
-config, not part of the trace -- traces are offered load only).
+config, not part of the trace -- traces are offered load only), and
+``duplicate-heavy`` repeats each drawn request back to back at the
+same arrival offset (single-flight request coalescing).
 
 Every trace is byte-reproducible from the spec embedded in its own
 header; ``tests/serve/test_workload.py`` regenerates each committed
@@ -79,6 +81,18 @@ SPECS = [
             {"N": v.N, "B": v.B, "D": v.D, "M": v.M}
             for v in geometry_variants(GEOMETRY, 2)
         ),
+    ),
+    WorkloadSpec(
+        name="duplicate-heavy",
+        count=64,
+        seed=SEED,
+        arrival="uniform",
+        rate=256.0,
+        popularity="zipf",
+        zipf_alpha=1.3,
+        key_space=8,
+        duplicates=8,
+        geometry=_G,
     ),
 ]
 

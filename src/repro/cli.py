@@ -259,6 +259,7 @@ def serve_http(args, shutdown_event=None, ready=None) -> int:
         faults=faults,
         metrics=ServiceMetrics(),
         recorder=recorder,
+        coalesce=args.coalesce,
     )
     if warmup:
         print(warm_service(service, warmup).summary())
@@ -273,7 +274,8 @@ def serve_http(args, shutdown_event=None, ready=None) -> int:
     frontend.start()
     print(
         f"listening on {frontend.url} ({args.workers} workers, "
-        f"queue={args.queue_capacity or 'unbounded'}/{args.queue_policy}); "
+        f"queue={args.queue_capacity or 'unbounded'}/{args.queue_policy}, "
+        f"coalesce={'on' if args.coalesce else 'off'}); "
         "GET /healthz /stats /cache /config /metrics, POST /permutations"
     )
     if shutdown_event is None:
@@ -414,6 +416,7 @@ def cmd_serve(args) -> int:
             breaker=breaker,
             faults=faults,
             recorder=recorder,
+            coalesce=args.coalesce,
         ) as service:
             if trace is not None:
                 replay_report = replay_trace(
@@ -465,7 +468,7 @@ def cmd_serve(args) -> int:
             f"service: {stats.submitted} submitted = {stats.admitted} admitted "
             f"+ {stats.shed} shed; {stats.retries} retries, "
             f"{stats.deadline_exceeded} deadline-exceeded, "
-            f"{stats.cancelled} cancelled"
+            f"{stats.cancelled} cancelled, {stats.coalesced} coalesced"
         )
     if replay_report is not None:
         print(replay_report.summary())
@@ -514,6 +517,7 @@ def cmd_loadgen(args) -> int:
         check_reconcile=not args.no_reconcile,
         trace=trace,
         as_fast_as_possible=args.as_fast_as_possible,
+        idempotent_repeat=args.idempotent_repeat,
     )
     lat = report["latency"]
     statuses = ", ".join(f"{k}: {v}" for k, v in report["statuses"].items())
@@ -533,6 +537,19 @@ def cmd_loadgen(args) -> int:
     if report.get("errors"):
         errors = ", ".join(f"{k}: {v}" for k, v in report["errors"].items())
         print(f"  errors: {errors}")
+    if report["idempotent_repeat"] > 1:
+        repeats = report["count"] * (report["idempotent_repeat"] - 1)
+        if report["idem_mismatches"] == 0:
+            print(
+                f"  {repeats} idempotent repeats all returned their "
+                "original request_id"
+            )
+        else:
+            print(
+                f"  {report['idem_mismatches']} of {repeats} idempotent "
+                "repeats returned a DIFFERENT request_id",
+                file=sys.stderr,
+            )
     if args.json:
         with open(args.json, "w") as handle:
             json.dump(report, handle, indent=2, sort_keys=True)
@@ -545,6 +562,8 @@ def cmd_loadgen(args) -> int:
             for problem in report["reconcile_problems"]:
                 print(f"    {problem}", file=sys.stderr)
             return 1
+    if report["idem_mismatches"]:
+        return 1
     return 0
 
 
@@ -589,6 +608,7 @@ def cmd_workload(args) -> int:
             popularity=args.popularity,
             zipf_alpha=args.zipf_alpha,
             key_space=args.key_space,
+            duplicates=args.duplicates,
             geometry={"N": g.N, "B": g.B, "D": g.D, "M": g.M},
             geometries=geometries,
             engine=args.engine,
@@ -811,6 +831,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="what a full queue does to new submissions",
     )
     p_serve.add_argument(
+        "--coalesce",
+        action="store_true",
+        default=False,
+        help="single-flight coalescing: concurrent requests with an "
+        "identical execution key share one execution (followers get "
+        "the leader's bytes; see the coalesced counters in /stats)",
+    )
+    p_serve.add_argument(
+        "--no-coalesce",
+        dest="coalesce",
+        action="store_false",
+        help="disable single-flight coalescing (the default)",
+    )
+    p_serve.add_argument(
         "--timeout",
         type=float,
         default=None,
@@ -952,6 +986,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", type=str, default=None, help="write the full report to this file"
     )
     p_load.add_argument(
+        "--idempotent-repeat",
+        type=int,
+        default=1,
+        help="POST every request with a deterministic Idempotency-Key "
+        "and re-POST it this many times total; repeats must return the "
+        "original request_id and /stats must still reconcile against "
+        "the un-repeated count (exits 1 on any mismatch)",
+    )
+    p_load.add_argument(
         "--no-reconcile",
         action="store_true",
         help="skip the /metrics vs /stats reconciliation check",
@@ -1021,6 +1064,14 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=12,
         help="number of distinct request keys in the catalog",
+    )
+    p_wgen.add_argument(
+        "--duplicates",
+        type=int,
+        default=1,
+        help="repeat every drawn event this many times back to back at "
+        "the same arrival offset (duplicate-heavy traffic for "
+        "single-flight coalescing; 1 = no duplication)",
     )
     p_wgen.add_argument(
         "--geometry-diversity",

@@ -34,6 +34,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable
 
+from repro.errors import ValidationError
 from repro.pdm.cancel import checkpoint, current_trace
 from repro.pdm.engine import ExecReport, audit_plan, execute_plan, PlanCheck
 from repro.pdm.geometry import DiskGeometry
@@ -217,7 +218,13 @@ class PlanCache:
     """LRU cache of :class:`CompiledPlan` objects keyed by :func:`plan_key`."""
 
     def __init__(self, maxsize: int = 64) -> None:
-        self.maxsize = int(maxsize)
+        maxsize = int(maxsize)
+        if maxsize < 1:
+            # maxsize=0 would make every store instantly evict its own
+            # entry: get_or_compile recompiles forever with misses and
+            # evictions climbing while size stays pinned at 0.
+            raise ValidationError(f"maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
         self._entries: OrderedDict[tuple, CompiledPlan] = OrderedDict()
         self.hits = 0
         self.misses = 0
@@ -320,6 +327,11 @@ class ShardedPlanCache:
     def __init__(self, maxsize: int = 64, num_shards: int = 8) -> None:
         num_shards = max(1, int(num_shards))
         maxsize = int(maxsize)
+        if maxsize < 1:
+            # maxsize=0 yields _per_shard == 0, so every store instantly
+            # evicts its own entry and the cache silently never holds
+            # anything (misses/evictions climb forever, size stays 0).
+            raise ValidationError(f"maxsize must be >= 1, got {maxsize}")
         if maxsize < num_shards:
             # every shard needs capacity for at least one entry, or a
             # single hot key per shard would thrash

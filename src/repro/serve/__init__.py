@@ -56,6 +56,7 @@ from repro.serve.requests import (
     RequestTrace,
     ServiceResult,
     _execute_request,
+    execution_key,
     load_requests,
     make_permutation,
     request_from_dict,
@@ -108,6 +109,7 @@ __all__ = [
     "WorkloadSpec",
     "WorkloadTrace",
     "chaos_plan",
+    "execution_key",
     "generate_trace",
     "geometry_variants",
     "is_transient",

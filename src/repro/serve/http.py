@@ -13,12 +13,20 @@ Routes
 ``POST /permutations``
     Body is a request dict (the :func:`~repro.serve.request_from_dict`
     shape), optionally wrapped as ``{"request": {...}, "mode":
-    "sync"|"async", "wait_timeout": seconds}``.  ``sync`` (default)
-    blocks until the result and answers with its outcome status;
-    ``async`` answers ``202`` immediately with the service-assigned
-    ``request_id`` for polling.  A ``sync`` call whose ``wait_timeout``
-    elapses degrades to the async answer -- the work is not cancelled,
-    the client just polls for it.
+    "sync"|"async", "wait_timeout": seconds, "idempotency_key": str}``.
+    ``sync`` (default) blocks until the result and answers with its
+    outcome status; ``async`` answers ``202`` immediately with the
+    service-assigned ``request_id`` for polling.  A ``sync`` call whose
+    ``wait_timeout`` elapses degrades to the async answer -- the work
+    is not cancelled, the client just polls for it.
+
+    An ``idempotency_key`` (body field, or the ``Idempotency-Key``
+    header; both present must agree) makes the POST safely retryable:
+    the first submission with a key executes and is remembered in a
+    keyed resolved-backlog, and every repeat maps to the *same*
+    ``request_id`` -- it neither re-executes nor double-counts in
+    ``/stats``.  Reusing a key with a *different* request body is a
+    400: a key names one request, not a slot.
 
 ``GET /permutations/{id}``
     Poll one request: ``202`` while pending, the outcome status with
@@ -194,7 +202,19 @@ class _Handler(BaseHTTPRequestHandler):
         self._send_json(status, {"error": error_to_dict(error)})
 
     def _read_body(self) -> dict:
-        length = int(self.headers.get("Content-Length") or 0)
+        raw_length = self.headers.get("Content-Length")
+        try:
+            length = int(raw_length) if raw_length else 0
+        except ValueError:
+            # A malformed header is the client's bug, not a 500: there
+            # is no body length to trust, so refuse before reading.
+            raise ValidationError(
+                f"Content-Length must be an integer, got {raw_length!r}"
+            ) from None
+        if length < 0:
+            raise ValidationError(
+                f"Content-Length must be >= 0, got {length}"
+            )
         raw = self.rfile.read(length) if length else b""
         if not raw:
             return {}
@@ -340,25 +360,76 @@ class _Handler(BaseHTTPRequestHandler):
             200, text, "text/plain; version=0.0.4; charset=utf-8"
         )
 
+    @staticmethod
+    def _coerce_wait_timeout(value):
+        """Validate a client-supplied wait_timeout (400 on junk).
+
+        ``future.result()`` would raise ``TypeError`` on a non-numeric
+        timeout -- a 500 for what is squarely the client's mistake.
+        """
+        if value is None:
+            return None
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ValidationError(
+                f"wait_timeout must be a number of seconds, got {value!r}"
+            )
+        if value < 0:
+            raise ValidationError(f"wait_timeout must be >= 0, got {value}")
+        return float(value)
+
+    @staticmethod
+    def _coerce_idempotency_key(body_key, header_key):
+        """Reconcile the body field and the Idempotency-Key header."""
+        if body_key is not None and not isinstance(body_key, str):
+            raise ValidationError(
+                f"idempotency_key must be a string, got {body_key!r}"
+            )
+        if (
+            body_key is not None
+            and header_key is not None
+            and body_key != header_key
+        ):
+            raise ValidationError(
+                "idempotency_key body field and Idempotency-Key header "
+                f"disagree: {body_key!r} != {header_key!r}"
+            )
+        key = body_key if body_key is not None else header_key
+        if key is None:
+            return None
+        if not key or len(key) > 256:
+            raise ValidationError(
+                "idempotency key must be 1..256 characters, "
+                f"got {len(key)}"
+            )
+        return key
+
     def _post_permutations(self) -> None:
         fe = self.frontend
         body = self._read_body()
+        header_key = self.headers.get("Idempotency-Key")
         if "request" in body:
             mode = body.get("mode", "sync")
             wait_timeout = body.get("wait_timeout")
+            body_key = body.get("idempotency_key")
             spec = body["request"]
             if not isinstance(spec, dict):
                 raise ValidationError('"request" must be a JSON object')
         else:
             mode = body.pop("mode", "sync")
             wait_timeout = body.pop("wait_timeout", None)
+            body_key = body.pop("idempotency_key", None)
             spec = body
         if mode not in ("sync", "async"):
             raise ValidationError(f'mode must be "sync" or "async", got {mode!r}')
+        wait_timeout = self._coerce_wait_timeout(wait_timeout)
+        idem_key = self._coerce_idempotency_key(body_key, header_key)
         request = request_from_dict(spec)
-        future = fe.service.submit(request)  # may raise ServiceClosedError
-        request_id = future.request_id
-        fe.track(request_id, future)
+        if idem_key is not None:
+            future, request_id = fe.submit_idempotent(idem_key, request)
+        else:
+            future = fe.service.submit(request)  # may raise ServiceClosedError
+            request_id = future.request_id
+            fe.track(request_id, future)
         if mode == "async":
             self._send_json(202, fe.pending_payload(request_id))
             return
@@ -443,6 +514,25 @@ class _Server(ThreadingHTTPServer):
         return sum(1 for t in threads if t.is_alive())
 
 
+class _IdemEntry:
+    """One idempotency-key reservation.
+
+    ``canonical`` is the normalized request identity the key is bound
+    to; ``ready`` latches once the first submit settled (``request_id``
+    + ``future`` on success, ``error`` on a submit-time failure, which
+    also releases the key so a later retry can try again).
+    """
+
+    __slots__ = ("canonical", "request_id", "future", "error", "ready")
+
+    def __init__(self, canonical: str) -> None:
+        self.canonical = canonical
+        self.request_id: str | None = None
+        self.future = None
+        self.error: BaseException | None = None
+        self.ready = threading.Event()
+
+
 class HttpFrontend:
     """Own one listening socket serving one :class:`PermutationService`.
 
@@ -488,6 +578,8 @@ class HttpFrontend:
         self._thread: threading.Thread | None = None
         self._lock = threading.Lock()
         self._futures: OrderedDict[str, object] = OrderedDict()
+        self._idempotency: dict[str, _IdemEntry] = {}
+        self._idem_by_rid: dict[str, str] = {}
         self._closed = False
 
     # ------------------------------------------------------------ lifecycle
@@ -551,13 +643,71 @@ class HttpFrontend:
         with self._lock:
             self._futures[request_id] = future
             while len(self._futures) > self.RESULT_BACKLOG:
-                # Evict the oldest *resolved* entry; never forget live work.
+                # Evict the oldest *resolved* entry; never forget live
+                # work.  An idempotency key lives exactly as long as
+                # its tracked result: once the resolved entry ages out
+                # of the backlog, the key is forgotten with it.
                 for key, pending in self._futures.items():
                     if pending.done():
                         del self._futures[key]
+                        idem_key = self._idem_by_rid.pop(key, None)
+                        if idem_key is not None:
+                            self._idempotency.pop(idem_key, None)
                         break
                 else:
                     break
+
+    def submit_idempotent(self, key: str, request) -> tuple:
+        """Submit under an idempotency key: first caller executes,
+        repeats map to the same ``(future, request_id)``.
+
+        The key is bound to the request's canonical serialized form, so
+        a retry with the *same* request (however spelled) coalesces
+        onto the original submission while reuse with a *different*
+        request is a :class:`~repro.errors.ValidationError` (400).  A
+        submit-time failure (e.g. closed service) releases the key --
+        the retry that follows a 503 must be able to try again.
+        """
+        from repro.errors import TransientError
+
+        canonical = json.dumps(request_to_dict(request), sort_keys=True)
+        with self._lock:
+            entry = self._idempotency.get(key)
+            if entry is None:
+                entry = self._idempotency[key] = _IdemEntry(canonical)
+                leader = True
+            else:
+                if entry.canonical != canonical:
+                    raise ValidationError(
+                        f"idempotency key {key!r} was already used for a "
+                        "different request"
+                    )
+                leader = False
+        if leader:
+            try:
+                future = self.service.submit(request)
+            except BaseException as exc:
+                entry.error = exc
+                entry.ready.set()
+                with self._lock:
+                    if self._idempotency.get(key) is entry:
+                        del self._idempotency[key]
+                raise
+            entry.request_id = future.request_id
+            entry.future = future
+            entry.ready.set()
+            with self._lock:
+                self._idem_by_rid[future.request_id] = key
+            self.track(future.request_id, future)
+            return future, future.request_id
+        if not entry.ready.wait(timeout=30.0):  # pragma: no cover - submit hung
+            raise TransientError(
+                f"idempotent submission for key {key!r} is still settling; "
+                "retry"
+            )
+        if entry.error is not None:
+            raise entry.error
+        return entry.future, entry.request_id
 
     def lookup(self, request_id: str):
         with self._lock:
@@ -581,6 +731,7 @@ class HttpFrontend:
             "backend": service.backend,
             "queue_capacity": service.queue_capacity,
             "queue_policy": service.queue_policy,
+            "coalesce": getattr(service, "coalesce", False),
             "default_timeout": service.default_timeout,
             "drain_timeout": self.drain_timeout,
             "cache": type(service.cache).__name__ if service.cache else None,

@@ -43,7 +43,12 @@ __all__ = ["http_json", "http_text", "reconcile", "run_loadgen"]
 
 
 def http_json(
-    method: str, base_url: str, path: str, payload=None, timeout: float = 30.0
+    method: str,
+    base_url: str,
+    path: str,
+    payload=None,
+    timeout: float = 30.0,
+    headers: dict | None = None,
 ):
     """One HTTP exchange; returns ``(status, parsed_json)``.
 
@@ -52,7 +57,7 @@ def http_json(
     """
     url = base_url.rstrip("/") + path
     data = None
-    headers = {"Accept": "application/json"}
+    headers = {"Accept": "application/json", **(headers or {})}
     if payload is not None:
         data = json.dumps(payload).encode()
         headers["Content-Type"] = "application/json"
@@ -116,10 +121,11 @@ def reconcile(stats: dict, metrics_text: str) -> list[str]:
         ("retries", "repro_request_retries_total"),
         ("deadline_exceeded", "repro_requests_deadline_exceeded_total"),
         ("cancelled", "repro_requests_cancelled_total"),
+        ("coalesced", "repro_requests_coalesced_total"),
     ]:
         check(
             f"stats.{field} == {sample}",
-            float(stats[field]),
+            float(stats.get(field, 0)),
             samples.get(sample, 0.0),
         )
     return problems
@@ -165,6 +171,7 @@ def run_loadgen(
     check_reconcile: bool = True,
     trace=None,
     as_fast_as_possible: bool = False,
+    idempotent_repeat: int = 1,
 ) -> dict:
     """Fire a workload at ``url`` from ``concurrency`` workers.
 
@@ -178,13 +185,24 @@ def run_loadgen(
     uses submit-then-poll for every request.  Returns a JSON-ready
     report: status histogram, latency percentiles, ``peak_concurrency``,
     the final ``/stats`` snapshot, and the reconciliation verdict.
+
+    ``idempotent_repeat > 1`` exercises the idempotency-key protocol:
+    every event POSTs with a deterministic ``Idempotency-Key`` and,
+    once the primary answer lands, re-POSTs the same keyed request
+    ``idempotent_repeat - 1`` more times.  Repeats must come back with
+    the *same* ``request_id`` (``idem_mismatches`` counts violations),
+    and because the server maps them to the original submission, the
+    final ``/stats`` still reconciles against ``count`` submissions --
+    not ``count * idempotent_repeat``.
     """
     if mode not in ("sync", "async"):
         raise ValueError(f'mode must be "sync" or "async", got {mode!r}')
+    idempotent_repeat = max(1, int(idempotent_repeat))
     if trace is None:
         trace = mix_trace(count, seed=seed, distinct_seeds=distinct_seeds)
     events = [
-        (event.at, request_to_dict(event.request)) for event in trace.events
+        (index, event.at, request_to_dict(event.request))
+        for index, event in enumerate(trace.events)
     ]
     count = len(events)
     paced = not as_fast_as_possible and trace.duration > 0
@@ -207,7 +225,12 @@ def run_loadgen(
             time.sleep(poll_interval)
 
     def one(item: tuple) -> dict:
-        at, payload = item
+        index, at, payload = item
+        idem_headers = (
+            {"Idempotency-Key": f"lg-{seed}-{index:06d}"}
+            if idempotent_repeat > 1
+            else None
+        )
         if paced:
             delay = at - (time.monotonic() - clock0)
             if delay > 0:
@@ -224,29 +247,37 @@ def run_loadgen(
                 first_seen.set()
             started = time.perf_counter()
             if mode == "async":
-                status, body = http_json(
-                    "POST",
-                    url,
-                    "/permutations",
-                    {"request": payload, "mode": "async"},
-                    timeout=timeout,
-                )
-                if status == 202:
-                    status, body = poll(body["request_id"])
+                wrapped = {"request": payload, "mode": "async"}
             else:
                 wrapped = dict(payload)
                 if wait_timeout is not None:
                     wrapped = {"request": payload, "wait_timeout": wait_timeout}
-                status, body = http_json(
-                    "POST", url, "/permutations", wrapped, timeout=timeout
-                )
-                if status == 202:
-                    status, body = poll(body["request_id"])
+            status, body = http_json(
+                "POST", url, "/permutations", wrapped, timeout=timeout,
+                headers=idem_headers,
+            )
+            if status == 202:
+                status, body = poll(body["request_id"])
+            mismatches = 0
+            if idem_headers is not None:
+                # The answer has landed, so the keyed repeats must map
+                # to the settled request_id without re-executing.
+                primary_id = body.get("request_id", "")
+                for _ in range(idempotent_repeat - 1):
+                    rstatus, rbody = http_json(
+                        "POST", url, "/permutations", wrapped,
+                        timeout=timeout, headers=idem_headers,
+                    )
+                    if rstatus == 202:
+                        rstatus, rbody = poll(rbody["request_id"])
+                    if rbody.get("request_id", "") != primary_id:
+                        mismatches += 1
         return {
             "status": status,
             "elapsed": time.perf_counter() - started,
             "request_id": body.get("request_id", ""),
             "error": (body.get("error") or {}).get("type"),
+            "idem_mismatches": mismatches,
         }
 
     t0 = time.perf_counter()
@@ -276,6 +307,8 @@ def run_loadgen(
         "statuses": dict(sorted(statuses.items())),
         "errors": dict(sorted(errors.items())),
         "ok": statuses.get("200", 0),
+        "idempotent_repeat": idempotent_repeat,
+        "idem_mismatches": sum(o["idem_mismatches"] for o in outcomes),
         "latency": {
             "mean": sum(latencies) / len(latencies) if latencies else 0.0,
             "p50": _percentile(latencies, 0.50),

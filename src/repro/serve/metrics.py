@@ -423,8 +423,16 @@ class ServiceMetrics:
             "repro_requests_cancelled_total",
             "Requests cancelled (hard-close or client cancel)",
         )
+        self.coalesced = r.counter(
+            "repro_requests_coalesced_total",
+            "Follower requests resolved by a leader's single execution",
+        )
         self.queue_depth = r.gauge(
             "repro_queue_depth", "Admitted requests waiting for a worker"
+        )
+        self.coalesced_in_flight = r.gauge(
+            "repro_requests_coalesced_in_flight",
+            "Followers currently attached to a queued-or-running leader",
         )
         self.running = r.gauge(
             "repro_requests_running", "Requests executing right now"
@@ -552,7 +560,9 @@ class ServiceMetrics:
         self.retries.set_total(stats.retries)
         self.deadline_exceeded.set_total(stats.deadline_exceeded)
         self.cancelled.set_total(stats.cancelled)
+        self.coalesced.set_total(getattr(stats, "coalesced", 0))
         self.queue_depth.set(stats.queue_depth)
+        self.coalesced_in_flight.set(getattr(stats, "coalesced_in_flight", 0))
         self.running.set(stats.running)
         self.workers.set(stats.workers)
         self.up.set(0.0 if stats.closed else 1.0)

@@ -37,6 +37,7 @@ __all__ = [
     "PermutationRequest",
     "RequestTrace",
     "ServiceResult",
+    "execution_key",
     "make_permutation",
     "run_sequential",
     "synthetic_mix",
@@ -163,6 +164,47 @@ class PermutationRequest:
         return f"{perm}/{self.method} seed={self.seed} engine={self.engine}{backend}"
 
 
+def execution_key(
+    request: PermutationRequest, default_geometry: DiskGeometry | None = None
+) -> tuple | None:
+    """The request's *execution identity*: two requests with equal keys
+    produce byte-identical ``(report, digest)`` pairs, so one execution
+    can serve both (single-flight coalescing).
+
+    Mirrors :func:`~repro.pdm.cache.plan_key`'s discipline: everything
+    that shapes the observable result is in -- the named permutation
+    (resolved deterministically from seed/rank_gamma), geometry, method,
+    seed, engine, optimizer and capture settings -- while ``backend``
+    stays *out*, because backends are bit-identical by the conformance
+    contract.  ``timeout``/``deadline`` stay out too: they bound *when*
+    a result may arrive, never *what* it is.
+
+    Returns ``None`` for requests that are not coalescible: a ready
+    :class:`~repro.perms.base.Permutation` object has no value identity
+    (two distinct objects may differ), so such requests always execute
+    themselves.
+    """
+    if not isinstance(request.perm, str):
+        return None
+    geometry = request.geometry or default_geometry
+    if geometry is None:
+        return None
+    return (
+        request.perm,
+        (geometry.N, geometry.B, geometry.D, geometry.M),
+        request.method,
+        request.seed,
+        request.rank_gamma,
+        request.engine,
+        request.optimize,
+        request.verify,
+        request.capture_portion,
+        request.stream_records,
+        request.source_portion,
+        request.target_portion,
+    )
+
+
 class RequestTrace:
     """Per-request identity + timing breakdown, carried in the worker's
     ambient scope (:func:`~repro.pdm.cancel.run_scope`).
@@ -200,10 +242,14 @@ class ServiceResult:
     ``worker`` the executing thread's name, ``elapsed`` wall seconds.
     ``attempts`` counts executions including retries (1 = first try
     succeeded or was not retryable; 0 = never executed -- shed by
-    admission control or expired while still queued).  ``request_id``
-    is the service-assigned identity (the HTTP polling handle) and
-    ``trace`` the per-request :class:`RequestTrace`; ``timings`` is its
-    stage breakdown (empty for requests that never executed).
+    admission control, expired while still queued, or coalesced onto a
+    leader's execution).  ``coalesced`` marks results resolved by
+    single-flight coalescing: the report/digest (or error) came from an
+    identical in-flight request's one execution, not from running this
+    request.  ``request_id`` is the service-assigned identity (the HTTP
+    polling handle) and ``trace`` the per-request
+    :class:`RequestTrace`; ``timings`` is its stage breakdown (empty
+    for requests that never executed).
     """
 
     index: int
@@ -216,6 +262,7 @@ class ServiceResult:
     attempts: int = 1
     request_id: str = ""
     trace: RequestTrace | None = None
+    coalesced: bool = False
 
     @property
     def ok(self) -> bool:

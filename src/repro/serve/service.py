@@ -42,6 +42,19 @@ On top of the PR-4 execution core this adds the robustness layer:
   checkpoints, so overload and failure behavior is testable to exact
   counters.
 
+* **Single-flight coalescing** -- with ``coalesce=True``, a submitted
+  request whose :func:`~repro.serve.requests.execution_key` matches one
+  already queued or running attaches to that *leader* as a *follower*
+  instead of occupying a queue slot: the leader executes once and every
+  follower resolves with the leader's ``report``/``digest`` on its own
+  :class:`~repro.serve.requests.ServiceResult` (own index, request_id,
+  queue_wait; ``coalesced=True``, ``attempts=0``).  Failures propagate
+  to followers un-retried -- the leader's retry policy governs the one
+  execution.  Deadlines stay per-request: an expired follower detaches
+  with :class:`~repro.errors.DeadlineExceeded` without cancelling the
+  leader.  Off by default: coalescing changes cache/execution counts
+  for duplicate traffic, so callers opt in.
+
 Failures of any kind are isolated: the exception is captured on that
 request's :class:`~repro.serve.requests.ServiceResult`, the worker and
 its pooled system survive, and the shared cache stays uncorrupted.
@@ -71,6 +84,7 @@ from repro.serve.requests import (
     RequestTrace,
     ServiceResult,
     _execute_request,
+    execution_key,
 )
 from repro.serve.robust import QUEUE_POLICIES, GuardedCache, is_transient
 
@@ -84,8 +98,17 @@ class ServiceStats:
     Invariants (hold at every instant, not just at rest):
 
     * ``admitted + shed == submitted``
-    * ``admitted == completed + queue_depth + running``
+    * ``admitted == completed + queue_depth + running + coalesced_in_flight``
     * ``failed <= completed``; ``deadline_exceeded + cancelled <= failed``
+    * ``coalesced <= completed``
+
+    ``coalesced`` counts follower requests resolved without an
+    execution of their own (single-flight coalescing; includes
+    followers whose deadline expired while attached), and
+    ``coalesced_in_flight`` is the gauge of followers currently
+    attached to a queued-or-running leader.  Followers are *admitted*
+    but never occupy a queue slot or a worker, hence the extended
+    ``admitted`` reconciliation above.
     """
 
     submitted: int
@@ -102,16 +125,27 @@ class ServiceStats:
     closed: bool
     breaker_trips: int = 0
     breaker_fast_failures: int = 0
+    coalesced: int = 0
+    coalesced_in_flight: int = 0
 
 
 class _Item:
-    """One admitted request waiting in (or popped from) the queue."""
+    """One admitted request waiting in (or popped from) the queue.
+
+    When coalescing is on, an item may be the *leader* for its
+    execution key: ``key`` is the registered
+    :func:`~repro.serve.requests.execution_key` (``None`` when the
+    request is not coalescible or coalescing is off) and ``followers``
+    holds the :class:`_Follower` records attached to it.
+    """
 
     __slots__ = (
-        "index", "request", "future", "token", "faults", "trace", "enqueued_at",
+        "index", "request", "future", "token", "faults", "trace",
+        "enqueued_at", "key", "followers",
     )
 
-    def __init__(self, index, request, future, token, faults, trace) -> None:
+    def __init__(self, index, request, future, token, faults, trace,
+                 key=None) -> None:
         self.index = index
         self.request = request
         self.future = future
@@ -119,6 +153,32 @@ class _Item:
         self.faults = faults
         self.trace = trace
         self.enqueued_at = time.monotonic()
+        self.key = key
+        self.followers: list[_Follower] = []
+
+
+class _Follower:
+    """A coalesced request riding on a leader's execution.
+
+    ``resolved`` is the single-winner latch between the leader's
+    resolution and the follower's own deadline timer -- whichever
+    flips it under the service lock delivers the result; the loser
+    does nothing.
+    """
+
+    __slots__ = (
+        "index", "request", "future", "trace", "enqueued_at", "resolved",
+        "timer",
+    )
+
+    def __init__(self, index, request, future, trace) -> None:
+        self.index = index
+        self.request = request
+        self.future = future
+        self.trace = trace
+        self.enqueued_at = time.monotonic()
+        self.resolved = False
+        self.timer: threading.Timer | None = None
 
 
 class PermutationService:
@@ -152,6 +212,7 @@ class PermutationService:
         faults=None,
         metrics=None,
         recorder=None,
+        coalesce: bool = False,
     ) -> None:
         self.geometry = geometry
         self.workers = max(1, int(workers))
@@ -195,6 +256,7 @@ class PermutationService:
         # the offered load (shed requests included) and replaying it
         # re-offers the same traffic.
         self.recorder = recorder
+        self.coalesce = bool(coalesce)
 
         self._local = threading.local()
         self._lock = threading.Lock()
@@ -203,6 +265,7 @@ class PermutationService:
         self._done = threading.Condition(self._lock)   # a request finished
         self._queue: deque[_Item] = deque()
         self._active: dict[int, CancellationToken] = {}
+        self._leaders: dict[tuple, _Item] = {}
         self._closed = False
         self._submitted = 0
         self._admitted = 0
@@ -213,6 +276,8 @@ class PermutationService:
         self._deadline_exceeded = 0
         self._cancelled = 0
         self._running = 0
+        self._coalesced = 0
+        self._coalesced_in_flight = 0
         self._threads = [
             threading.Thread(
                 target=self._worker_loop, name=f"perm-worker-{i}", daemon=True
@@ -251,10 +316,65 @@ class PermutationService:
             with self._lock:
                 self._running -= 1
                 self._active.pop(item.index, None)
+                if item.key is not None:
+                    self._leaders.pop(item.key, None)
                 self._record_locked(result)
+                settled = self._settle_followers_locked(item, result)
                 self._done.notify_all()
             self._observe(result)
             item.future.set_result(result)
+            self._resolve_followers(settled)
+
+    def _settle_followers_locked(
+        self, item: _Item, result: ServiceResult
+    ) -> list[tuple[_Follower, ServiceResult]]:
+        """Build follower results off the leader's, under the lock.
+
+        The leader must already be out of ``_leaders`` (no new
+        followers can attach) and ``result`` fully settled.  Each
+        unresolved follower gets its own :class:`ServiceResult` sharing
+        the leader's report/digest/error -- a leader failure propagates
+        un-retried -- and the counters move ``coalesced_in_flight`` ->
+        ``coalesced``/``completed`` atomically with the snapshot, so
+        ``stats()`` reconciles at every instant.  Futures resolve
+        outside the lock (:meth:`_resolve_followers`).
+        """
+        settled = []
+        for follower in item.followers:
+            if follower.resolved:
+                continue
+            follower.resolved = True
+            self._coalesced_in_flight -= 1
+            self._coalesced += 1
+            fresult = ServiceResult(
+                index=follower.index,
+                request=follower.request,
+                report=result.report,
+                error=result.error,
+                digest=result.digest,
+                worker=result.worker,
+                elapsed=result.elapsed,
+                attempts=0,
+                request_id=follower.trace.request_id,
+                trace=follower.trace,
+                coalesced=True,
+            )
+            self._record_locked(fresult)
+            settled.append((follower, fresult))
+        return settled
+
+    def _resolve_followers(self, settled) -> None:
+        """Deliver follower results built by
+        :meth:`_settle_followers_locked` -- outside the lock, so done
+        callbacks may re-enter the service freely."""
+        for follower, fresult in settled:
+            if follower.timer is not None:
+                follower.timer.cancel()
+            follower.trace.record(
+                "queue_wait", time.monotonic() - follower.enqueued_at
+            )
+            self._observe(fresult)
+            follower.future.set_result(fresult)
 
     def _observe(self, result: ServiceResult) -> None:
         """Feed one resolved result to the metrics hook (histograms)."""
@@ -356,66 +476,147 @@ class PermutationService:
         """
         future: Future = Future()
         evicted: _Item | None = None
+        evicted_shed: ServiceResult | None = None
+        evicted_settled: list = []
+        rejected: ServiceResult | None = None
+        follower: _Follower | None = None
+        follower_remaining: float | None = None
         if self.recorder is not None:
             self.recorder.record(request)
         with self._lock:
             if self._closed:
                 raise ServiceClosedError("service is closed")
-            capacity = self.queue_capacity
-            if capacity is not None and len(self._queue) >= capacity:
-                if self.queue_policy == "reject":
+            key = execution_key(request, self.geometry) if self.coalesce else None
+            if key is not None:
+                leader = self._leaders.get(key)
+                if leader is not None:
+                    # Single-flight: attach to the in-flight leader.
+                    # Followers are admitted but occupy no queue slot,
+                    # so coalescing happens *before* admission control
+                    # -- duplicates never contend for capacity.
                     index = self._submitted
                     self._submitted += 1
-                    self._shed += 1
-                    result = self._shed_result(
-                        index, request,
-                        f"queue at capacity ({capacity}); request rejected",
-                    )
-                elif self.queue_policy == "shed-oldest":
-                    evicted = self._queue.popleft()
-                    self._admitted -= 1
-                    self._shed += 1
-                    result = None
-                else:  # block
-                    while len(self._queue) >= capacity and not self._closed:
-                        self._space.wait()
-                    if self._closed:
-                        raise ServiceClosedError(
-                            "service closed while submit was blocked on a "
-                            "full queue"
+                    self._admitted += 1
+                    self._coalesced_in_flight += 1
+                    trace = RequestTrace(self._request_id(index))
+                    future.request_id = trace.request_id
+                    follower = _Follower(index, request, future, trace)
+                    leader.followers.append(follower)
+                    follower_remaining = self._make_token(request).remaining()
+            if follower is None:
+                capacity = self.queue_capacity
+                if capacity is not None and len(self._queue) >= capacity:
+                    if self.queue_policy == "reject":
+                        index = self._submitted
+                        self._submitted += 1
+                        self._shed += 1
+                        rejected = self._shed_result(
+                            index, request,
+                            f"queue at capacity ({capacity}); request rejected",
                         )
-                    result = None
-                if result is not None:
-                    future.request_id = result.request_id
-                    future.set_result(result)
-                    self._observe(result)
-                    return future
-            index = self._submitted
-            self._submitted += 1
-            self._admitted += 1
-            faults = (
-                self.faults.session(index)
-                if self.faults is not None and self.faults.active
-                else None
-            )
-            trace = RequestTrace(self._request_id(index))
-            future.request_id = trace.request_id
-            self._queue.append(
-                _Item(
-                    index, request, future, self._make_token(request), faults,
-                    trace,
+                    elif self.queue_policy == "shed-oldest":
+                        evicted = self._queue.popleft()
+                        if evicted.key is not None:
+                            self._leaders.pop(evicted.key, None)
+                        self._admitted -= 1
+                        self._shed += 1
+                        evicted_shed = self._shed_result(
+                            evicted.index, evicted.request,
+                            "shed from a full queue in favor of a newer "
+                            "request",
+                            trace=evicted.trace,
+                        )
+                        evicted_settled = self._settle_followers_locked(
+                            evicted, evicted_shed
+                        )
+                    else:  # block
+                        while len(self._queue) >= capacity and not self._closed:
+                            self._space.wait()
+                        if self._closed:
+                            raise ServiceClosedError(
+                                "service closed while submit was blocked on a "
+                                "full queue"
+                            )
+                if rejected is None:
+                    index = self._submitted
+                    self._submitted += 1
+                    self._admitted += 1
+                    faults = (
+                        self.faults.session(index)
+                        if self.faults is not None and self.faults.active
+                        else None
+                    )
+                    trace = RequestTrace(self._request_id(index))
+                    future.request_id = trace.request_id
+                    item = _Item(
+                        index, request, future, self._make_token(request),
+                        faults, trace, key=key,
+                    )
+                    if key is not None:
+                        self._leaders[key] = item
+                    self._queue.append(item)
+                    self._work.notify()
+        # Every future resolves *outside* the lock: an inline done
+        # callback may re-enter the service (stats(), submit(), the
+        # HTTP frontend's tracking) and the lock is not reentrant.
+        if rejected is not None:
+            future.request_id = rejected.request_id
+            future.set_result(rejected)
+            self._observe(rejected)
+            return future
+        if follower is not None:
+            if follower_remaining is not None:
+                # Per-request deadline: the timer detaches this
+                # follower without touching the leader.  Resolution
+                # cancels it; a late firing finds ``resolved`` set.
+                timer = threading.Timer(
+                    max(0.0, follower_remaining),
+                    self._expire_follower, args=(follower,),
                 )
-            )
-            self._work.notify()
+                timer.daemon = True
+                follower.timer = timer
+                timer.start()
+            return future
         if evicted is not None:
-            shed = self._shed_result(
-                evicted.index, evicted.request,
-                "shed from a full queue in favor of a newer request",
-                trace=evicted.trace,
-            )
-            evicted.future.set_result(shed)
-            self._observe(shed)
+            evicted.future.set_result(evicted_shed)
+            self._observe(evicted_shed)
+            self._resolve_followers(evicted_settled)
         return future
+
+    def _expire_follower(self, follower: _Follower) -> None:
+        """Deadline-timer callback: detach one expired follower.
+
+        The follower resolves with :class:`~repro.errors.DeadlineExceeded`
+        on its own result; the leader and its other followers are
+        untouched -- deadlines are per-request promises, and one
+        impatient client must not cancel the shared execution.
+        """
+        fresult = ServiceResult(
+            index=follower.index,
+            request=follower.request,
+            error=DeadlineExceeded(
+                "deadline expired while coalesced behind an identical "
+                "in-flight request"
+            ),
+            worker="coalesce",
+            attempts=0,
+            request_id=follower.trace.request_id,
+            trace=follower.trace,
+            coalesced=True,
+        )
+        with self._lock:
+            if follower.resolved:
+                return
+            follower.resolved = True
+            self._coalesced_in_flight -= 1
+            self._coalesced += 1
+            self._record_locked(fresult)
+            self._done.notify_all()
+        follower.trace.record(
+            "queue_wait", time.monotonic() - follower.enqueued_at
+        )
+        self._observe(fresult)
+        follower.future.set_result(fresult)
 
     def run(self, requests) -> list[ServiceResult]:
         """Submit a batch and gather results in request order."""
@@ -452,6 +653,8 @@ class PermutationService:
                 breaker_fast_failures=(
                     self.breaker.fast_failures if self.breaker else 0
                 ),
+                coalesced=self._coalesced,
+                coalesced_in_flight=self._coalesced_in_flight,
             )
 
     def close(self, wait: bool = True, drain_timeout: float | None = None) -> None:
@@ -473,7 +676,7 @@ class PermutationService:
             self._space.notify_all()
         if not wait:
             return
-        flushed: list[_Item] = []
+        flushed: list[tuple[_Item, ServiceResult, list]] = []
         if drain_timeout is not None:
             deadline = time.monotonic() + drain_timeout
             with self._lock:
@@ -483,28 +686,32 @@ class PermutationService:
                         break
                 while self._queue:
                     item = self._queue.popleft()
+                    if item.key is not None:
+                        self._leaders.pop(item.key, None)
                     self._completed += 1
                     self._failed += 1
                     self._cancelled += 1
-                    flushed.append(item)
+                    result = ServiceResult(
+                        index=item.index,
+                        request=item.request,
+                        error=ServiceClosedError(
+                            "request was still queued when the service "
+                            "hard-closed"
+                        ),
+                        worker="close",
+                        attempts=0,
+                        request_id=item.trace.request_id,
+                        trace=item.trace,
+                    )
+                    settled = self._settle_followers_locked(item, result)
+                    flushed.append((item, result, settled))
                 for token in self._active.values():
                     token.cancel("service closed")
                 self._work.notify_all()
-            for item in flushed:
-                result = ServiceResult(
-                    index=item.index,
-                    request=item.request,
-                    error=ServiceClosedError(
-                        "request was still queued when the service "
-                        "hard-closed"
-                    ),
-                    worker="close",
-                    attempts=0,
-                    request_id=item.trace.request_id,
-                    trace=item.trace,
-                )
+            for item, result, settled in flushed:
                 item.future.set_result(result)
                 self._observe(result)
+                self._resolve_followers(settled)
         for t in self._threads:
             t.join()
 

@@ -289,6 +289,15 @@ class WorkloadSpec:
     geometry round-robin -- geometry diversity without breaking the
     key<->plan-key correspondence.
 
+    ``duplicates`` makes the trace duplicate-heavy: ``ceil(count /
+    duplicates)`` base events are drawn as usual, then each is repeated
+    ``duplicates`` times at the *same* arrival offset (truncated back
+    to ``count``) -- back-to-back identical requests, the shape
+    single-flight coalescing exists for.  ``duplicates=1`` (the
+    default) reproduces the pre-knob generator byte-for-byte, and the
+    field is omitted from the serialized spec at its default so the
+    committed golden traces stay byte-stable.
+
     Pure value: :func:`generate_trace` on the same spec byte-reproduces
     the same trace.
     """
@@ -303,6 +312,7 @@ class WorkloadSpec:
     popularity: str = "uniform"
     zipf_alpha: float = 1.1
     key_space: int = 12
+    duplicates: int = 1
     geometry: dict | None = None
     geometries: tuple = ()
     engine: str = "fast"
@@ -336,6 +346,10 @@ class WorkloadSpec:
             raise ValidationError(f"zipf_alpha must be > 0, got {self.zipf_alpha}")
         if self.key_space < 1:
             raise ValidationError(f"key_space must be >= 1, got {self.key_space}")
+        if self.duplicates < 1:
+            raise ValidationError(
+                f"duplicates must be >= 1, got {self.duplicates}"
+            )
         # normalize geometries to a hashable tuple of canonical dicts
         geometries = tuple(
             _geometry_to_dict(g) if isinstance(g, DiskGeometry) else dict(g)
@@ -364,6 +378,10 @@ class WorkloadSpec:
             if f.name == "geometry":
                 if value is not None:
                     payload["geometry"] = dict(value)
+                continue
+            if f.name == "duplicates" and value == 1:
+                # omitted at its default so pre-knob golden traces'
+                # embedded specs stay byte-identical
                 continue
             payload[f.name] = value
         return payload
@@ -447,13 +465,21 @@ def generate_trace(spec: WorkloadSpec) -> WorkloadTrace:
     committed golden trace, so don't.
     """
     rng = np.random.default_rng(spec.seed)
-    offsets = _arrival_offsets(spec, rng)
+    # Duplicate-heavy traces draw ceil(count/duplicates) base events
+    # and repeat each at its offset; with duplicates=1 the draw is the
+    # original one, so pre-knob golden traces reproduce byte-for-byte.
+    base_count = -(-spec.count // spec.duplicates)
+    draw_spec = spec if base_count == spec.count else replace(spec, count=base_count)
+    offsets = _arrival_offsets(draw_spec, rng)
     if spec.popularity == "uniform":
-        ranks = rng.integers(0, spec.key_space, size=spec.count)
+        ranks = rng.integers(0, spec.key_space, size=base_count)
     else:
         weights = 1.0 / np.arange(1, spec.key_space + 1) ** spec.zipf_alpha
         weights /= weights.sum()
-        ranks = rng.choice(spec.key_space, size=spec.count, p=weights)
+        ranks = rng.choice(spec.key_space, size=base_count, p=weights)
+    if spec.duplicates > 1:
+        offsets = np.repeat(offsets, spec.duplicates)[: spec.count]
+        ranks = np.repeat(ranks, spec.duplicates)[: spec.count]
     catalog = _key_catalog(spec)
     events = [
         TraceEvent(at=float(at), request=catalog[int(rank)])
@@ -626,6 +652,7 @@ class ReplayReport:
                 stats.deadline_exceeded if stats is not None else 0
             ),
             "retries": stats.retries if stats is not None else 0,
+            "coalesced": getattr(stats, "coalesced", 0) if stats is not None else 0,
             "workload_digest": self.workload_digest,
         }
 

@@ -379,3 +379,47 @@ class TestShardObservability:
             sharded.get_or_compile(("k",), lambda: compiled)
         assert sharded.latch_waits == 0
         assert sharded.info().latch_waits == 0
+
+
+class TestMaxsizeValidation:
+    """Regression: ``maxsize=0`` (or negative) used to be accepted and
+    produced a cache that instantly evicted every store -- every request
+    compiled, every compile evicted, hit rate pinned at zero with no
+    error anywhere.  A capacity that can never hold an entry is a
+    configuration bug and must say so at construction time."""
+
+    from repro.errors import ValidationError as _ValidationError
+
+    @pytest.mark.parametrize("bad", [0, -1, -64])
+    def test_plan_cache_rejects_unholdable_maxsize(self, bad):
+        with pytest.raises(self._ValidationError, match="maxsize") as err:
+            PlanCache(maxsize=bad)
+        assert str(bad) in str(err.value)
+
+    @pytest.mark.parametrize("bad", [0, -1, -64])
+    def test_sharded_cache_rejects_unholdable_maxsize(self, bad):
+        from repro.pdm.cache import ShardedPlanCache
+
+        with pytest.raises(self._ValidationError, match="maxsize"):
+            ShardedPlanCache(maxsize=bad, num_shards=4)
+
+    def test_maxsize_one_holds_exactly_one_entry(self, geometry):
+        # the smallest legal cache must actually cache
+        g = geometry
+        cache = PlanCache(maxsize=1)
+        perm = mld_perm(g)
+        key = plan_key("mld", g, perm.matrix, perm.complement, 0, 1)
+
+        def build():
+            return plan_mld_pass(g, perm), None
+
+        _, _, hit1 = cached_execute(fresh(g), cache, key, build)
+        _, _, hit2 = cached_execute(fresh(g), cache, key, build)
+        assert (hit1, hit2) == (False, True)
+        assert cache.info().evictions == 0
+
+    def test_service_surfaces_the_validation_error(self, geometry):
+        from repro.serve import PermutationService
+
+        with pytest.raises(self._ValidationError, match="maxsize"):
+            PermutationService(geometry, workers=2, cache_maxsize=0)

@@ -489,3 +489,256 @@ class TestShutdown:
         assert parsed["repro_requests_cancelled_total"] == stats.cancelled
         assert parsed["repro_requests_completed_total"] == stats.completed
         assert parsed["repro_service_up"] == 0.0
+
+
+# --------------------------------------------------------------------------
+# header validation, at the socket (urllib normalizes Content-Length,
+# so malformed headers need a hand-written exchange)
+# --------------------------------------------------------------------------
+
+def _raw_exchange(url, request_bytes):
+    """One hand-rolled HTTP exchange; returns (status, parsed_body)."""
+    import socket
+
+    host, port = url[len("http://"):].split(":")
+    with socket.create_connection((host, int(port)), timeout=10) as sock:
+        sock.sendall(request_bytes)
+        sock.settimeout(10)
+        chunks = []
+        while True:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            chunks.append(chunk)
+    raw = b"".join(chunks)
+    head, _, body = raw.partition(b"\r\n\r\n")
+    status = int(head.split(b" ", 2)[1])
+    try:
+        parsed = json.loads(body)
+    except (json.JSONDecodeError, UnicodeDecodeError):
+        parsed = {}
+    return status, parsed
+
+
+class TestHeaderValidation:
+    """Regression: junk client headers used to escape as 500s.
+
+    A non-integer Content-Length crashed ``int()`` in the body reader
+    and a non-numeric wait_timeout crashed ``future.result()`` -- both
+    unhandled ``ValueError``/``TypeError``, both squarely the client's
+    mistake.  They must surface as typed 400 ValidationErrors.
+    """
+
+    def test_malformed_content_length_is_400(self, geometry):
+        with make_frontend(geometry, workers=1) as fe:
+            status, body = _raw_exchange(
+                fe.url,
+                b"POST /permutations HTTP/1.1\r\n"
+                b"Host: test\r\n"
+                b"Content-Type: application/json\r\n"
+                b"Content-Length: banana\r\n"
+                b"Connection: close\r\n\r\n",
+            )
+        assert status == 400
+        assert body["error"]["type"] == "ValidationError"
+        assert "Content-Length" in body["error"]["message"]
+        assert "banana" in body["error"]["message"]
+
+    def test_negative_content_length_is_400(self, geometry):
+        with make_frontend(geometry, workers=1) as fe:
+            status, body = _raw_exchange(
+                fe.url,
+                b"POST /permutations HTTP/1.1\r\n"
+                b"Host: test\r\n"
+                b"Content-Type: application/json\r\n"
+                b"Content-Length: -7\r\n"
+                b"Connection: close\r\n\r\n",
+            )
+        assert status == 400
+        assert body["error"]["type"] == "ValidationError"
+
+    def test_server_survives_the_malformed_header(self, geometry):
+        with make_frontend(geometry, workers=1) as fe:
+            _raw_exchange(
+                fe.url,
+                b"POST /permutations HTTP/1.1\r\n"
+                b"Host: test\r\n"
+                b"Content-Length: banana\r\n"
+                b"Connection: close\r\n\r\n",
+            )
+            status, body = http_json(
+                "POST", fe.url, "/permutations", dict(TRANSPOSE)
+            )
+        assert status == 200 and body["ok"] is True
+
+    @pytest.mark.parametrize("junk", ["soon", True, [1], {"s": 1}])
+    def test_non_numeric_wait_timeout_is_400(self, geometry, junk):
+        with make_frontend(geometry, workers=1) as fe:
+            status, body = http_json(
+                "POST", fe.url, "/permutations",
+                {"request": dict(TRANSPOSE), "wait_timeout": junk},
+            )
+        assert status == 400
+        assert body["error"]["type"] == "ValidationError"
+        assert "wait_timeout" in body["error"]["message"]
+
+    def test_negative_wait_timeout_is_400(self, geometry):
+        with make_frontend(geometry, workers=1) as fe:
+            status, body = http_json(
+                "POST", fe.url, "/permutations",
+                {"request": dict(TRANSPOSE), "wait_timeout": -1},
+            )
+        assert status == 400
+        assert "wait_timeout" in body["error"]["message"]
+
+
+# --------------------------------------------------------------------------
+# idempotency keys
+# --------------------------------------------------------------------------
+
+class TestIdempotencyKeys:
+    def test_repeat_posts_map_to_one_submission(self, geometry):
+        with make_frontend(geometry, workers=2) as fe:
+            answers = [
+                http_json(
+                    "POST", fe.url, "/permutations", dict(TRANSPOSE),
+                    headers={"Idempotency-Key": "k1"},
+                )
+                for _ in range(3)
+            ]
+            _, stats = http_json("GET", fe.url, "/stats")
+        assert all(status == 200 and body["ok"] for status, body in answers)
+        ids = {body["request_id"] for _, body in answers}
+        assert len(ids) == 1, "keyed repeats re-executed"
+        # one submission, not three: repeats never reach the service
+        assert stats["submitted"] == 1
+        assert stats["completed"] == 1
+
+    def test_body_field_spellings(self, geometry):
+        with make_frontend(geometry, workers=2) as fe:
+            _, first = http_json(
+                "POST", fe.url, "/permutations",
+                {**TRANSPOSE, "idempotency_key": "k2"},
+            )
+            _, wrapped = http_json(
+                "POST", fe.url, "/permutations",
+                {"request": dict(TRANSPOSE), "idempotency_key": "k2"},
+            )
+            _, header = http_json(
+                "POST", fe.url, "/permutations", dict(TRANSPOSE),
+                headers={"Idempotency-Key": "k2"},
+            )
+            _, stats = http_json("GET", fe.url, "/stats")
+        assert first["request_id"] == wrapped["request_id"] == header["request_id"]
+        assert stats["submitted"] == 1
+
+    def test_async_repeat_returns_the_same_handle(self, geometry):
+        with make_frontend(geometry, workers=1) as fe:
+            wrapped = {"request": dict(TRANSPOSE), "mode": "async"}
+            _, a = http_json(
+                "POST", fe.url, "/permutations", wrapped,
+                headers={"Idempotency-Key": "k3"},
+            )
+            _, b = http_json(
+                "POST", fe.url, "/permutations", wrapped,
+                headers={"Idempotency-Key": "k3"},
+            )
+            assert a["request_id"] == b["request_id"]
+            status, result = poll_result(fe.url, a["request_id"])
+        assert status == 200 and result["ok"] is True
+
+    def test_key_reuse_for_a_different_request_is_400(self, geometry):
+        with make_frontend(geometry, workers=2) as fe:
+            status, _ = http_json(
+                "POST", fe.url, "/permutations", dict(TRANSPOSE),
+                headers={"Idempotency-Key": "k4"},
+            )
+            assert status == 200
+            status, body = http_json(
+                "POST", fe.url, "/permutations", {"perm": "bit-reversal"},
+                headers={"Idempotency-Key": "k4"},
+            )
+        assert status == 400
+        assert body["error"]["type"] == "ValidationError"
+        assert "k4" in body["error"]["message"]
+
+    def test_header_body_disagreement_is_400(self, geometry):
+        with make_frontend(geometry, workers=2) as fe:
+            status, body = http_json(
+                "POST", fe.url, "/permutations",
+                {"request": dict(TRANSPOSE), "idempotency_key": "a"},
+                headers={"Idempotency-Key": "b"},
+            )
+        assert status == 400
+        assert body["error"]["type"] == "ValidationError"
+
+    @pytest.mark.parametrize("junk", [7, True, [1], ""])
+    def test_junk_key_is_400(self, geometry, junk):
+        with make_frontend(geometry, workers=2) as fe:
+            status, body = http_json(
+                "POST", fe.url, "/permutations",
+                {"request": dict(TRANSPOSE), "idempotency_key": junk},
+            )
+        assert status == 400
+        assert body["error"]["type"] == "ValidationError"
+
+    def test_oversized_key_is_400(self, geometry):
+        with make_frontend(geometry, workers=2) as fe:
+            status, _ = http_json(
+                "POST", fe.url, "/permutations",
+                {"request": dict(TRANSPOSE), "idempotency_key": "x" * 257},
+            )
+        assert status == 400
+
+    def test_keys_are_pruned_with_the_result_backlog(self, geometry):
+        with make_frontend(geometry, workers=2) as fe:
+            fe.RESULT_BACKLOG = 2
+            _, first = http_json(
+                "POST", fe.url, "/permutations", dict(TRANSPOSE),
+                headers={"Idempotency-Key": "old"},
+            )
+            for n in range(3):
+                http_json(
+                    "POST", fe.url, "/permutations",
+                    {**TRANSPOSE, "seed": n + 1},
+                    headers={"Idempotency-Key": f"fill-{n}"},
+                )
+            # the oldest key aged out with its tracked result: a repeat
+            # is a *fresh* submission now, not a replayed answer
+            _, again = http_json(
+                "POST", fe.url, "/permutations", dict(TRANSPOSE),
+                headers={"Idempotency-Key": "old"},
+            )
+        assert again["request_id"] != first["request_id"]
+        assert len(fe._idempotency) <= 2
+        assert len(fe._idem_by_rid) <= 2
+
+    def test_config_reports_coalesce(self, geometry):
+        service = PermutationService(geometry, workers=1, coalesce=True)
+        with HttpFrontend(service, metrics=ServiceMetrics(), own_service=True) as fe:
+            _, config = http_json("GET", fe.url, "/config")
+        assert config["coalesce"] is True
+
+    def test_coalesced_counters_reach_stats_and_metrics(self, geometry):
+        """Duplicate async submissions through a slow coalescing pool:
+        /stats and /metrics agree on the coalesced counters exactly."""
+        service = PermutationService(
+            geometry, workers=1, faults=SLOW, coalesce=True
+        )
+        with HttpFrontend(service, metrics=ServiceMetrics(), own_service=True) as fe:
+            wrapped = {"request": dict(TRANSPOSE), "mode": "async"}
+            rids = []
+            for _ in range(4):
+                _, body = http_json("POST", fe.url, "/permutations", wrapped)
+                rids.append(body["request_id"])
+            assert len(set(rids)) == 4  # no idempotency key: distinct handles
+            for rid in rids:
+                poll_result(fe.url, rid)
+            stats = wait_stats(
+                fe.url, lambda s: s["completed"] == 4
+            )
+            _, page = http_text(fe.url, "/metrics")
+        assert stats["coalesced"] >= 1
+        assert stats["coalesced_in_flight"] == 0
+        problems = reconcile(stats, page)
+        assert not problems, problems

@@ -132,6 +132,8 @@ class TestWorkloadSpec:
             dict(zipf_alpha=0.0),
             dict(key_space=0),
             dict(burst_size=0),
+            dict(duplicates=0),
+            dict(duplicates=-2),
             dict(geometry=dict(N=3, B=8, D=4, M=128)),
         ],
     )
@@ -259,6 +261,57 @@ class TestGenerator:
         assert all(event.request.timeout == 2.5 for event in trace)
 
 
+class TestDuplicates:
+    """The ``duplicates`` knob: duplicate-heavy traffic for single-flight
+    coalescing, grafted onto the generator without moving a byte of the
+    existing traces."""
+
+    def test_duplicates_repeat_back_to_back_at_the_same_offset(self):
+        spec = small_spec(count=16, duplicates=4)
+        events = list(generate_trace(spec))
+        for start in range(0, 16, 4):
+            group = events[start : start + 4]
+            assert len({event.at for event in group}) == 1
+            assert all(
+                event.request == group[0].request for event in group
+            ), "duplicates must be byte-identical requests"
+
+    def test_count_not_divisible_truncates(self):
+        trace = generate_trace(small_spec(count=10, duplicates=4))
+        assert len(trace) == 10
+
+    def test_duplicates_one_matches_the_undecorated_generator(self):
+        # explicit duplicates=1 is the default: byte-for-byte identical
+        spec = small_spec(count=12)
+        assert (
+            generate_trace(replace(spec, duplicates=1)).dumps()
+            == generate_trace(spec).dumps()
+        )
+
+    def test_default_is_omitted_from_the_wire_spec(self):
+        # committed golden traces predate the knob; serializing the
+        # default would move every header line
+        assert "duplicates" not in small_spec().to_dict()
+        assert small_spec(duplicates=8).to_dict()["duplicates"] == 8
+
+    def test_spec_roundtrips_and_regenerates(self):
+        spec = small_spec(count=16, duplicates=4, popularity="zipf")
+        trace = generate_trace(spec)
+        again = generate_trace(WorkloadSpec.from_dict(trace.spec))
+        assert again.dumps() == trace.dumps()
+
+    def test_duplicate_base_draw_matches_the_plain_spec(self):
+        """The duplicated trace is the duplicates=1 trace of the same
+        spec with each event repeated: the underlying draw sequence is
+        shared, not a different stream."""
+        spec = small_spec(count=16, duplicates=4)
+        base = list(generate_trace(replace(spec, count=4, duplicates=1)))
+        expanded = list(generate_trace(spec))
+        for i, event in enumerate(expanded):
+            assert event.request == base[i // 4].request
+            assert event.at == base[i // 4].at
+
+
 # --------------------------------------------------------------------------
 # the shared mix builder
 # --------------------------------------------------------------------------
@@ -283,7 +336,14 @@ class TestMixTrace:
 # --------------------------------------------------------------------------
 
 @pytest.mark.parametrize(
-    "name", ["uniform", "zipf-hot-key", "bursty-overload", "mixed-chaos"]
+    "name",
+    [
+        "uniform",
+        "zipf-hot-key",
+        "bursty-overload",
+        "mixed-chaos",
+        "duplicate-heavy",
+    ],
 )
 def test_golden_trace_matches_its_spec(name):
     path = WORKLOADS_DIR / f"{name}.jsonl"
